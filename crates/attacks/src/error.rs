@@ -1,0 +1,70 @@
+use adv_nn::NnError;
+use adv_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced while configuring or running attacks.
+#[derive(Debug)]
+pub enum AttackError {
+    /// An underlying network operation failed.
+    Nn(NnError),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An invalid attack hyperparameter.
+    InvalidConfig(String),
+    /// The batch and label list disagree in length, or a label is invalid.
+    BadLabels(String),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Nn(e) => write!(f, "network error: {e}"),
+            AttackError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AttackError::InvalidConfig(msg) => write!(f, "invalid attack config: {msg}"),
+            AttackError::BadLabels(msg) => write!(f, "bad labels: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Nn(e) => Some(e),
+            AttackError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for AttackError {
+    fn from(e: NnError) -> Self {
+        AttackError::Nn(e)
+    }
+}
+
+impl From<TensorError> for AttackError {
+    fn from(e: TensorError) -> Self {
+        AttackError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(AttackError::InvalidConfig("beta".into())
+            .to_string()
+            .contains("invalid attack config"));
+        assert!(AttackError::BadLabels("len".into())
+            .to_string()
+            .contains("bad labels"));
+    }
+}

@@ -1,0 +1,235 @@
+//! FGSM and iterative FGSM (Goodfellow et al. '15; Kurakin et al. '16) —
+//! the fast L∞ baselines MagNet was originally shown to defend.
+//!
+//! FGSM takes a single signed-gradient step of the training loss:
+//! `x' = clip(x + ε·sign(∇ₓ CE(f(x), t₀)))`. The iterative variant applies
+//! smaller steps repeatedly with per-step clipping to the ε-ball.
+
+use crate::attack::{Attack, AttackOutcome};
+use crate::loss::adversarial_margins;
+use crate::{AttackError, Result};
+use adv_nn::loss::softmax_cross_entropy;
+use adv_nn::Differentiable;
+use adv_tensor::Tensor;
+
+/// Fast gradient sign method with step size ε.
+#[derive(Debug, Clone, Copy)]
+pub struct Fgsm {
+    epsilon: f32,
+}
+
+impl Fgsm {
+    /// Creates FGSM with the given L∞ budget ε.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidConfig`] unless `ε > 0`.
+    pub fn new(epsilon: f32) -> Result<Self> {
+        if epsilon <= 0.0 {
+            return Err(AttackError::InvalidConfig(format!(
+                "epsilon {epsilon} must be > 0"
+            )));
+        }
+        Ok(Fgsm { epsilon })
+    }
+
+    /// The L∞ budget.
+    pub fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+}
+
+fn loss_input_gradient(
+    model: &mut dyn Differentiable,
+    x: &Tensor,
+    labels: &[usize],
+) -> Result<Tensor> {
+    let logits = model.forward(x)?;
+    let (_, dlogits) = softmax_cross_entropy(&logits, labels)?;
+    Ok(model.backward_input(&dlogits)?)
+}
+
+fn check_success(
+    model: &mut dyn Differentiable,
+    adv: &Tensor,
+    labels: &[usize],
+) -> Result<Vec<bool>> {
+    let logits = model.forward(adv)?;
+    Ok(adversarial_margins(&logits, labels)?
+        .into_iter()
+        .map(|m| m > 0.0)
+        .collect())
+}
+
+impl Attack for Fgsm {
+    fn name(&self) -> String {
+        format!("FGSM(eps={})", self.epsilon)
+    }
+
+    fn run(
+        &self,
+        model: &mut dyn Differentiable,
+        x0: &Tensor,
+        labels: &[usize],
+    ) -> Result<AttackOutcome> {
+        if labels.len() != x0.shape().dim(0) {
+            return Err(AttackError::BadLabels(format!(
+                "{} images but {} labels",
+                x0.shape().dim(0),
+                labels.len()
+            )));
+        }
+        let grad = loss_input_gradient(model, x0, labels)?;
+        let adv = x0
+            .zip_map(&grad, |xi, gi| xi + self.epsilon * gi.signum())?
+            .clamp(0.0, 1.0);
+        let success = check_success(model, &adv, labels)?;
+        AttackOutcome::from_images(x0, adv, success)
+    }
+}
+
+/// Iterative FGSM: `steps` signed-gradient steps of size `alpha`, clipped to
+/// the ε-ball around the original after each step.
+#[derive(Debug, Clone, Copy)]
+pub struct IterativeFgsm {
+    epsilon: f32,
+    alpha: f32,
+    steps: usize,
+}
+
+impl IterativeFgsm {
+    /// Creates I-FGSM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidConfig`] for non-positive ε/α or zero
+    /// steps.
+    pub fn new(epsilon: f32, alpha: f32, steps: usize) -> Result<Self> {
+        if epsilon <= 0.0 || alpha <= 0.0 {
+            return Err(AttackError::InvalidConfig(
+                "epsilon and alpha must be > 0".into(),
+            ));
+        }
+        if steps == 0 {
+            return Err(AttackError::InvalidConfig("steps must be > 0".into()));
+        }
+        Ok(IterativeFgsm {
+            epsilon,
+            alpha,
+            steps,
+        })
+    }
+}
+
+impl Attack for IterativeFgsm {
+    fn name(&self) -> String {
+        format!(
+            "I-FGSM(eps={}, alpha={}, steps={})",
+            self.epsilon, self.alpha, self.steps
+        )
+    }
+
+    fn run(
+        &self,
+        model: &mut dyn Differentiable,
+        x0: &Tensor,
+        labels: &[usize],
+    ) -> Result<AttackOutcome> {
+        if labels.len() != x0.shape().dim(0) {
+            return Err(AttackError::BadLabels(format!(
+                "{} images but {} labels",
+                x0.shape().dim(0),
+                labels.len()
+            )));
+        }
+        let mut x = x0.clone();
+        for _ in 0..self.steps {
+            let grad = loss_input_gradient(model, &x, labels)?;
+            x = x.zip_map(&grad, |xi, gi| xi + self.alpha * gi.signum())?;
+            // Project to the ε-ball and the image box.
+            x = x.zip_map(x0, |xi, oi| {
+                xi.clamp(oi - self.epsilon, oi + self.epsilon)
+            })?;
+            x = x.clamp(0.0, 1.0);
+        }
+        let success = check_success(model, &x, labels)?;
+        AttackOutcome::from_images(x0, x, success)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adv_nn::{LayerSpec, Sequential};
+    use adv_tensor::Shape;
+
+    fn linear_model() -> Sequential {
+        let mut net = Sequential::from_specs(
+            &[LayerSpec::Dense {
+                inputs: 2,
+                outputs: 2,
+            }],
+            0,
+        )
+        .unwrap();
+        net.params_mut()[0].value =
+            Tensor::from_vec(vec![-1.0, 1.0, 1.0, -1.0], Shape::matrix(2, 2)).unwrap();
+        net.params_mut()[1].value = Tensor::zeros(Shape::vector(2));
+        net
+    }
+
+    #[test]
+    fn fgsm_perturbation_is_linf_bounded() {
+        let mut model = linear_model();
+        let x = Tensor::from_vec(vec![0.4, 0.6], Shape::matrix(1, 2)).unwrap();
+        let attack = Fgsm::new(0.1).unwrap();
+        let o = attack.run(&mut model, &x, &[0]).unwrap();
+        assert!(o.linf[0] <= 0.1 + 1e-6);
+    }
+
+    #[test]
+    fn fgsm_with_large_epsilon_flips_the_class() {
+        let mut model = linear_model();
+        let x = Tensor::from_vec(vec![0.45, 0.55], Shape::matrix(1, 2)).unwrap();
+        let attack = Fgsm::new(0.3).unwrap();
+        let o = attack.run(&mut model, &x, &[0]).unwrap();
+        assert!(o.success[0]);
+    }
+
+    #[test]
+    fn ifgsm_respects_epsilon_ball() {
+        let mut model = linear_model();
+        let x = Tensor::from_vec(vec![0.4, 0.6], Shape::matrix(1, 2)).unwrap();
+        let attack = IterativeFgsm::new(0.15, 0.05, 10).unwrap();
+        let o = attack.run(&mut model, &x, &[0]).unwrap();
+        assert!(o.linf[0] <= 0.15 + 1e-6);
+    }
+
+    #[test]
+    fn ifgsm_beats_fgsm_at_same_budget() {
+        // On this toy model both flip the label, but I-FGSM's margin should
+        // be at least as good; we just check both succeed at a tight budget.
+        let mut model = linear_model();
+        let x = Tensor::from_vec(vec![0.42, 0.58], Shape::matrix(1, 2)).unwrap();
+        let itr = IterativeFgsm::new(0.2, 0.04, 8).unwrap();
+        let o = itr.run(&mut model, &x, &[0]).unwrap();
+        assert!(o.success[0]);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(Fgsm::new(0.0).is_err());
+        assert!(Fgsm::new(-0.1).is_err());
+        assert!(IterativeFgsm::new(0.1, 0.0, 5).is_err());
+        assert!(IterativeFgsm::new(0.1, 0.05, 0).is_err());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Fgsm::new(0.3).unwrap().name(), "FGSM(eps=0.3)");
+        assert!(IterativeFgsm::new(0.3, 0.1, 5)
+            .unwrap()
+            .name()
+            .contains("steps=5"));
+    }
+}

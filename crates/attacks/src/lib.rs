@@ -1,0 +1,45 @@
+//! Adversarial attacks on differentiable classifiers.
+//!
+//! The paper's comparison is between two optimization-based attacks run in
+//! the *oblivious* transfer setting (crafted on the undefended model, then
+//! thrown at MagNet):
+//!
+//! - [`CarliniWagnerL2`] — the C&W attack: minimize
+//!   `‖δ‖₂² + c·f(x+δ)` over a tanh change of variables with Adam, binary
+//!   searching `c` per example. Pure L2; the paper shows MagNet *defends*
+//!   this one.
+//! - [`ElasticNetAttack`] (EAD) — minimize
+//!   `c·f(x) + ‖x−x₀‖₂² + β‖x−x₀‖₁` via the iterative
+//!   shrinkage-thresholding algorithm (paper eq. 4–5). The β-weighted L1
+//!   term nulls unnecessary perturbations, and its adversarial examples
+//!   *bypass* MagNet. Final examples are selected per the **EN** or **L1**
+//!   decision rule ([`DecisionRule`]).
+//!
+//! Baselines from the broader literature are included for completeness:
+//! [`Fgsm`], [`IterativeFgsm`], and [`DeepFool`].
+//!
+//! All attacks are *batched* (every iteration runs the whole batch through
+//! the network once) and *untargeted* with a confidence margin κ, matching
+//! the paper's experimental setup.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attack;
+mod cw;
+mod deepfool;
+mod ead;
+mod error;
+mod fgsm;
+
+pub mod loss;
+
+pub use attack::{Attack, AttackOutcome};
+pub use cw::{CarliniWagnerL2, CwConfig};
+pub use deepfool::{DeepFool, DeepFoolConfig};
+pub use ead::{DecisionRule, EadConfig, ElasticNetAttack};
+pub use error::AttackError;
+pub use fgsm::{Fgsm, IterativeFgsm};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, AttackError>;

@@ -1,0 +1,317 @@
+//! The attack loss (paper eq. 2–3) and its gradient with respect to the
+//! logits.
+//!
+//! For an *untargeted* attack on an example with true label `t₀` the loss is
+//!
+//! ```text
+//! f(x) = max( [Logit(x)]_{t₀} − max_{j≠t₀} [Logit(x)]_j , −κ )
+//! ```
+//!
+//! which is minimized (saturating at `−κ`) once some wrong class beats the
+//! true class by the confidence margin κ. The gradient with respect to the
+//! logits is `+1` on `t₀` and `−1` on the runner-up class while the hinge is
+//! active, and zero once saturated — this is what gets scaled by each
+//! example's `c` and pushed through the network's backward pass.
+
+use crate::{AttackError, Result};
+use adv_tensor::{Shape, Tensor};
+
+/// Per-example *adversarial margin* `max_{j≠t₀} Z_j − Z_{t₀}`.
+///
+/// Positive margin means the model currently misclassifies; margin ≥ κ means
+/// the example is adversarial *with confidence κ* (the success criterion the
+/// paper sweeps).
+///
+/// # Errors
+///
+/// Returns [`AttackError::BadLabels`] when the label list disagrees with the
+/// batch or contains out-of-range labels.
+pub fn adversarial_margins(logits: &Tensor, labels: &[usize]) -> Result<Vec<f32>> {
+    let (n, k) = check(logits, labels)?;
+    let z = logits.as_slice();
+    let mut out = Vec::with_capacity(n);
+    for (i, &t0) in labels.iter().enumerate() {
+        let row = &z[i * k..(i + 1) * k];
+        let best_other = row
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != t0)
+            .map(|(_, &v)| v)
+            .fold(f32::NEG_INFINITY, f32::max);
+        out.push(best_other - row[t0]);
+    }
+    Ok(out)
+}
+
+/// Untargeted hinge loss values (paper eq. 3) and the gradient of
+/// `Σᵢ cᵢ·fᵢ` with respect to the logits.
+///
+/// `c` holds each example's regularization constant; rows whose hinge is
+/// saturated (margin ≥ κ) receive a zero gradient.
+///
+/// # Errors
+///
+/// Returns [`AttackError::BadLabels`] for mismatched labels and
+/// [`AttackError::InvalidConfig`] when `c` has the wrong length.
+pub fn untargeted_hinge(
+    logits: &Tensor,
+    labels: &[usize],
+    kappa: f32,
+    c: &[f32],
+) -> Result<(Vec<f32>, Tensor)> {
+    let (n, k) = check(logits, labels)?;
+    if c.len() != n {
+        return Err(AttackError::InvalidConfig(format!(
+            "c has {} entries for a batch of {n}",
+            c.len()
+        )));
+    }
+    let z = logits.as_slice();
+    let mut values = Vec::with_capacity(n);
+    let mut grad = vec![0.0f32; n * k];
+    for (i, &t0) in labels.iter().enumerate() {
+        let row = &z[i * k..(i + 1) * k];
+        let (runner_up, best_other) = row
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != t0)
+            .fold((t0, f32::NEG_INFINITY), |(bj, bv), (j, &v)| {
+                if v > bv {
+                    (j, v)
+                } else {
+                    (bj, bv)
+                }
+            });
+        let raw = row[t0] - best_other;
+        let f = raw.max(-kappa);
+        values.push(f);
+        if raw > -kappa {
+            grad[i * k + t0] = c[i];
+            grad[i * k + runner_up] = -c[i];
+        }
+    }
+    Ok((values, Tensor::from_vec(grad, Shape::matrix(n, k))?))
+}
+
+/// Per-example *target margin* `Z_t − max_{j≠t} Z_j` for targeted attacks.
+///
+/// Margin ≥ κ means the example is classified as the target with confidence
+/// κ.
+///
+/// # Errors
+///
+/// Returns [`AttackError::BadLabels`] for mismatched or out-of-range
+/// targets.
+pub fn target_margins(logits: &Tensor, targets: &[usize]) -> Result<Vec<f32>> {
+    let m = adversarial_margins(logits, targets)?;
+    // For label t, adversarial_margins returns max_{j≠t} Z_j − Z_t; the
+    // target margin is its negation.
+    Ok(m.into_iter().map(|v| -v).collect())
+}
+
+/// Targeted hinge loss (paper eq. 2) and the gradient of `Σᵢ cᵢ·fᵢ` w.r.t.
+/// the logits:
+///
+/// ```text
+/// f(x, t) = max( max_{j≠t} Z_j − Z_t , −κ )
+/// ```
+///
+/// minimized once the *target* class leads by κ.
+///
+/// # Errors
+///
+/// Returns [`AttackError::BadLabels`] for mismatched targets and
+/// [`AttackError::InvalidConfig`] when `c` has the wrong length.
+pub fn targeted_hinge(
+    logits: &Tensor,
+    targets: &[usize],
+    kappa: f32,
+    c: &[f32],
+) -> Result<(Vec<f32>, Tensor)> {
+    let (n, k) = check(logits, targets)?;
+    if c.len() != n {
+        return Err(AttackError::InvalidConfig(format!(
+            "c has {} entries for a batch of {n}",
+            c.len()
+        )));
+    }
+    let z = logits.as_slice();
+    let mut values = Vec::with_capacity(n);
+    let mut grad = vec![0.0f32; n * k];
+    for (i, &t) in targets.iter().enumerate() {
+        let row = &z[i * k..(i + 1) * k];
+        let (runner_up, best_other) = row
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != t)
+            .fold((t, f32::NEG_INFINITY), |(bj, bv), (j, &v)| {
+                if v > bv {
+                    (j, v)
+                } else {
+                    (bj, bv)
+                }
+            });
+        let raw = best_other - row[t];
+        let f = raw.max(-kappa);
+        values.push(f);
+        if raw > -kappa {
+            grad[i * k + runner_up] = c[i];
+            grad[i * k + t] = -c[i];
+        }
+    }
+    Ok((values, Tensor::from_vec(grad, Shape::matrix(n, k))?))
+}
+
+fn check(logits: &Tensor, labels: &[usize]) -> Result<(usize, usize)> {
+    if logits.shape().rank() != 2 {
+        return Err(AttackError::Tensor(adv_tensor::TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.shape().rank(),
+        }));
+    }
+    let (n, k) = (logits.shape().dim(0), logits.shape().dim(1));
+    if labels.len() != n {
+        return Err(AttackError::BadLabels(format!(
+            "{n} logit rows but {} labels",
+            labels.len()
+        )));
+    }
+    if k < 2 {
+        return Err(AttackError::BadLabels(format!(
+            "need at least 2 classes, got {k}"
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+        return Err(AttackError::BadLabels(format!(
+            "label {bad} out of range for {k} classes"
+        )));
+    }
+    Ok((n, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits(rows: &[&[f32]]) -> Tensor {
+        let k = rows[0].len();
+        let data: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Tensor::from_vec(data, Shape::matrix(rows.len(), k)).unwrap()
+    }
+
+    #[test]
+    fn margin_signs() {
+        let l = logits(&[&[5.0, 1.0, 0.0], &[1.0, 5.0, 0.0]]);
+        let m = adversarial_margins(&l, &[0, 0]).unwrap();
+        assert_eq!(m, vec![-4.0, 4.0]); // first correct, second misclassified
+    }
+
+    #[test]
+    fn hinge_saturates_at_minus_kappa() {
+        // Margin 4 ≥ κ=2 → f = −κ, zero gradient.
+        let l = logits(&[&[1.0, 5.0]]);
+        let (f, g) = untargeted_hinge(&l, &[0], 2.0, &[1.0]).unwrap();
+        assert_eq!(f, vec![-2.0]);
+        assert!(g.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn hinge_active_gradient_points_at_true_and_runner_up() {
+        let l = logits(&[&[5.0, 3.0, 1.0]]);
+        let (f, g) = untargeted_hinge(&l, &[0], 0.0, &[2.0]).unwrap();
+        assert_eq!(f, vec![2.0]); // Z_t0 − best_other = 5 − 3
+        assert_eq!(g.as_slice(), &[2.0, -2.0, 0.0]);
+    }
+
+    #[test]
+    fn hinge_gradient_matches_finite_differences() {
+        let l = logits(&[&[1.2, 0.4, -0.3], &[0.1, 0.9, 0.5]]);
+        let labels = [0usize, 1usize];
+        let kappa = 0.5;
+        let c = [1.5f32, 0.7];
+        let (_, g) = untargeted_hinge(&l, &labels, kappa, &c).unwrap();
+        let eval = |l: &Tensor| {
+            let (f, _) = untargeted_hinge(l, &labels, kappa, &[1.0, 1.0]).unwrap();
+            c.iter().zip(f).map(|(&ci, fi)| ci * fi).sum::<f32>()
+        };
+        let eps = 1e-3f32;
+        for i in 0..l.len() {
+            let mut lp = l.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = l.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let fd = (eval(&lp) - eval(&lm)) / (2.0 * eps);
+            assert!(
+                (fd - g.as_slice()[i]).abs() < 1e-2,
+                "grad[{i}]: {fd} vs {}",
+                g.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn per_example_c_scales_rows_independently() {
+        let l = logits(&[&[2.0, 1.0], &[2.0, 1.0]]);
+        let (_, g) = untargeted_hinge(&l, &[0, 0], 0.0, &[1.0, 3.0]).unwrap();
+        assert_eq!(g.as_slice(), &[1.0, -1.0, 3.0, -3.0]);
+    }
+
+    #[test]
+    fn target_margin_is_negated_adversarial_margin() {
+        let l = logits(&[&[1.0, 4.0, 2.0]]);
+        let am = adversarial_margins(&l, &[1]).unwrap();
+        let tm = target_margins(&l, &[1]).unwrap();
+        assert_eq!(tm[0], -am[0]);
+        assert_eq!(tm[0], 2.0); // target leads by 4 − 2
+    }
+
+    #[test]
+    fn targeted_hinge_active_until_target_leads_by_kappa() {
+        // Target class 2 trails: hinge active, gradient pushes Z_2 up and
+        // the leader down.
+        let l = logits(&[&[5.0, 1.0, 3.0]]);
+        let (f, g) = targeted_hinge(&l, &[2], 1.0, &[2.0]).unwrap();
+        assert_eq!(f, vec![2.0]); // max_other − Z_t = 5 − 3
+        assert_eq!(g.as_slice(), &[2.0, 0.0, -2.0]);
+        // Target leads by more than κ: saturated, zero gradient.
+        let l = logits(&[&[1.0, 0.0, 5.0]]);
+        let (f, g) = targeted_hinge(&l, &[2], 1.0, &[2.0]).unwrap();
+        assert_eq!(f, vec![-1.0]);
+        assert!(g.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn targeted_hinge_gradient_matches_finite_differences() {
+        let l = logits(&[&[1.2, 0.4, -0.3], &[0.1, 0.9, 0.5]]);
+        let targets = [2usize, 0usize];
+        let c = [1.5f32, 0.7];
+        let (_, g) = targeted_hinge(&l, &targets, 0.5, &c).unwrap();
+        let eval = |l: &Tensor| {
+            let (f, _) = targeted_hinge(l, &targets, 0.5, &[1.0, 1.0]).unwrap();
+            c.iter().zip(f).map(|(&ci, fi)| ci * fi).sum::<f32>()
+        };
+        let eps = 1e-3f32;
+        for i in 0..l.len() {
+            let mut lp = l.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = l.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let fd = (eval(&lp) - eval(&lm)) / (2.0 * eps);
+            assert!(
+                (fd - g.as_slice()[i]).abs() < 1e-2,
+                "grad[{i}]: {fd} vs {}",
+                g.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let l = logits(&[&[1.0, 2.0]]);
+        assert!(untargeted_hinge(&l, &[0, 1], 0.0, &[1.0]).is_err());
+        assert!(untargeted_hinge(&l, &[7], 0.0, &[1.0]).is_err());
+        assert!(untargeted_hinge(&l, &[0], 0.0, &[1.0, 1.0]).is_err());
+        let one_class = logits(&[&[1.0]]);
+        assert!(adversarial_margins(&one_class, &[0]).is_err());
+    }
+}

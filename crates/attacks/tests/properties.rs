@@ -1,0 +1,122 @@
+//! Property-based tests for the attack primitives: the ISTA shrinkage
+//! operator of EAD (paper eq. 5) and the hinge attack loss (eq. 2–3).
+
+use adv_attacks::loss::{adversarial_margins, untargeted_hinge};
+use adv_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+/// Re-implementation of eq. (5) for a single pixel, used as the oracle.
+fn shrink_pixel(z: f32, x0: f32, beta: f32) -> f32 {
+    let d = z - x0;
+    if d > beta {
+        (z - beta).min(1.0)
+    } else if d < -beta {
+        (z + beta).max(0.0)
+    } else {
+        x0
+    }
+}
+
+proptest! {
+    #[test]
+    fn shrinkage_output_is_box_feasible(
+        z in -3.0f32..4.0,
+        x0 in 0.0f32..1.0,
+        beta in 0.0f32..0.5,
+    ) {
+        let out = shrink_pixel(z, x0, beta);
+        // The operator projects into [0,1] whenever it moves the pixel; a
+        // kept original pixel is feasible by construction.
+        prop_assert!((0.0..=1.0).contains(&out));
+    }
+
+    #[test]
+    fn shrinkage_never_overshoots_the_original(
+        z in -2.0f32..3.0,
+        x0 in 0.0f32..1.0,
+        beta in 0.0f32..0.5,
+    ) {
+        // S_β moves z *toward* x0 by β (or keeps x0): the perturbation after
+        // shrinkage is no larger in magnitude than before (pre-clipping).
+        let out = shrink_pixel(z, x0, beta);
+        let before = (z.clamp(0.0, 1.0) - x0).abs();
+        let after = (out - x0).abs();
+        prop_assert!(after <= before + 1e-6);
+    }
+
+    #[test]
+    fn shrinkage_sparsity_is_monotone_in_beta(
+        z in proptest::collection::vec(-0.5f32..1.5, 16),
+        x0 in proptest::collection::vec(0.2f32..0.8, 16),
+        b1 in 0.0f32..0.2,
+        db in 0.0f32..0.2,
+    ) {
+        let b2 = b1 + db;
+        let count_kept = |beta: f32| {
+            z.iter()
+                .zip(&x0)
+                .filter(|(&zi, &xi)| (shrink_pixel(zi, xi, beta) - xi).abs() < 1e-7)
+                .count()
+        };
+        // Larger β keeps (zeroes the perturbation of) at least as many pixels.
+        prop_assert!(count_kept(b2) >= count_kept(b1));
+    }
+
+    #[test]
+    fn zero_beta_is_pure_projection(
+        z in -2.0f32..3.0,
+        x0 in 0.0f32..1.0,
+    ) {
+        let out = shrink_pixel(z, x0, 0.0);
+        prop_assert!((out - z.clamp(0.0, 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hinge_is_bounded_below_by_minus_kappa(
+        logits in proptest::collection::vec(-5.0f32..5.0, 6),
+        kappa in 0.0f32..10.0,
+    ) {
+        let t = Tensor::from_vec(logits, Shape::matrix(2, 3)).unwrap();
+        let (f, _) = untargeted_hinge(&t, &[0, 1], kappa, &[1.0, 1.0]).unwrap();
+        for v in f {
+            prop_assert!(v >= -kappa - 1e-6);
+        }
+    }
+
+    #[test]
+    fn hinge_zero_iff_margin_zero(
+        logits in proptest::collection::vec(-5.0f32..5.0, 3),
+    ) {
+        // f(x) with κ=0 equals max(−margin, 0) up to sign conventions:
+        // f = max(Z_t0 − max_other, 0) = max(−margin, 0).
+        let t = Tensor::from_vec(logits, Shape::matrix(1, 3)).unwrap();
+        let (f, _) = untargeted_hinge(&t, &[0], 0.0, &[1.0]).unwrap();
+        let m = adversarial_margins(&t, &[0]).unwrap();
+        prop_assert!((f[0] - (-m[0]).max(0.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn margin_is_antisymmetric_under_logit_swap(
+        a in -5.0f32..5.0,
+        b in -5.0f32..5.0,
+    ) {
+        // Two classes: margin(label 0) = b − a, margin(label 1) = a − b.
+        let t = Tensor::from_vec(vec![a, b], Shape::matrix(1, 2)).unwrap();
+        let m0 = adversarial_margins(&t, &[0]).unwrap()[0];
+        let m1 = adversarial_margins(&t, &[1]).unwrap()[0];
+        prop_assert!((m0 + m1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn saturated_hinge_has_zero_gradient(
+        base in -3.0f32..3.0,
+        kappa in 0.1f32..5.0,
+    ) {
+        // Build logits where the wrong class beats the true class by more
+        // than κ — the hinge must be saturated with zero gradient.
+        let t = Tensor::from_vec(vec![base, base + kappa + 1.0], Shape::matrix(1, 2)).unwrap();
+        let (f, g) = untargeted_hinge(&t, &[0], kappa, &[2.0]).unwrap();
+        prop_assert!((f[0] + kappa).abs() < 1e-5);
+        prop_assert!(g.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,85 @@
+//! Benchmarks of the attacks themselves: full (small) attack runs and the
+//! relative cost of EAD's ISTA machinery vs C&W's tanh-space Adam, plus the
+//! batching ablation DESIGN.md calls out (batched vs per-example execution).
+
+use adv_bench::{image_batch, labels, trained_classifier};
+use adv_attacks::{
+    Attack, CarliniWagnerL2, CwConfig, DecisionRule, EadConfig, ElasticNetAttack, Fgsm,
+};
+use adv_nn::train::gather0;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn ead(iterations: usize, bs: usize) -> ElasticNetAttack {
+    ElasticNetAttack::new(EadConfig {
+        kappa: 0.0,
+        beta: 0.01,
+        iterations,
+        binary_search_steps: bs,
+        initial_c: 0.5,
+        rule: DecisionRule::ElasticNet,
+        ..EadConfig::default()
+    })
+    .unwrap()
+}
+
+fn cw(iterations: usize, bs: usize) -> CarliniWagnerL2 {
+    CarliniWagnerL2::new(CwConfig {
+        kappa: 0.0,
+        iterations,
+        binary_search_steps: bs,
+        initial_c: 0.5,
+        ..CwConfig::default()
+    })
+    .unwrap()
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let mut net = trained_classifier();
+    let x = image_batch(8, 1, 28);
+    let y = labels(8);
+
+    let mut g = c.benchmark_group("attack_runs_b8");
+    g.sample_size(10);
+    g.bench_function("fgsm", |bench| {
+        let attack = Fgsm::new(0.1).unwrap();
+        bench.iter(|| attack.run(&mut net, black_box(&x), &y).unwrap())
+    });
+    g.bench_function("ead_10it_1bs", |bench| {
+        let attack = ead(10, 1);
+        bench.iter(|| attack.run(&mut net, black_box(&x), &y).unwrap())
+    });
+    g.bench_function("cw_10it_1bs", |bench| {
+        let attack = cw(10, 1);
+        bench.iter(|| attack.run(&mut net, black_box(&x), &y).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_batched_vs_per_example(c: &mut Criterion) {
+    // Ablation: attacking 8 images in one batch vs 8 single-image runs.
+    // Batched execution amortizes the network passes into larger matmuls.
+    let mut net = trained_classifier();
+    let x = image_batch(8, 1, 28);
+    let y = labels(8);
+
+    let mut g = c.benchmark_group("batching_ablation");
+    g.sample_size(10);
+    g.bench_function("batched_8", |bench| {
+        let attack = ead(10, 1);
+        bench.iter(|| attack.run(&mut net, black_box(&x), &y).unwrap())
+    });
+    g.bench_function("per_example_8", |bench| {
+        let attack = ead(10, 1);
+        bench.iter(|| {
+            for i in 0..8 {
+                let xi = gather0(&x, &[i]).unwrap();
+                attack.run(&mut net, black_box(&xi), &y[i..=i]).unwrap();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_attacks, bench_batched_vs_per_example);
+criterion_main!(benches);

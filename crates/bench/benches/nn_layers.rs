@@ -1,0 +1,55 @@
+//! Benchmarks of whole-network forward and backward passes for the two
+//! architecture families the paper uses: the victim CNN and MagNet's
+//! sigmoid auto-encoders.
+
+use adv_bench::image_batch;
+use adv_magnet::arch::{mnist_ae_one, mnist_classifier};
+use adv_nn::loss::softmax_cross_entropy;
+use adv_nn::{Mode, Sequential};
+use adv_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_classifier(c: &mut Criterion) {
+    let mut net = Sequential::from_specs(&mnist_classifier(28, 1, 8, 16, 64, 10), 1).unwrap();
+    let x = image_batch(16, 1, 28);
+    let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
+
+    let mut g = c.benchmark_group("classifier_cnn_b16");
+    g.bench_function("forward", |bench| {
+        bench.iter(|| net.forward(black_box(&x), Mode::Eval).unwrap())
+    });
+    g.bench_function("forward_backward_to_input", |bench| {
+        bench.iter(|| {
+            let logits = net.forward(black_box(&x), Mode::Eval).unwrap();
+            let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+            net.backward(&grad).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_autoencoder(c: &mut Criterion) {
+    let mut thin = Sequential::from_specs(&mnist_ae_one(1, 3), 2).unwrap();
+    let mut wide = Sequential::from_specs(&mnist_ae_one(1, 8), 2).unwrap();
+    let x = image_batch(16, 1, 28);
+
+    let mut g = c.benchmark_group("magnet_autoencoder_b16");
+    g.bench_function("forward_3_filters", |bench| {
+        bench.iter(|| thin.forward(black_box(&x), Mode::Eval).unwrap())
+    });
+    g.bench_function("forward_8_filters", |bench| {
+        bench.iter(|| wide.forward(black_box(&x), Mode::Eval).unwrap())
+    });
+    g.bench_function("reconstruction_backward", |bench| {
+        bench.iter(|| {
+            let y = thin.forward(black_box(&x), Mode::Train).unwrap();
+            let dy = Tensor::ones(y.shape().clone());
+            thin.backward(&dy).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_classifier, bench_autoencoder);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! End-to-end benchmark of the experiment machinery itself: one full
+//! oblivious evaluation point (craft a small batch of adversarial examples,
+//! run them through a calibrated MagNet) — the unit of work every table row
+//! and figure point costs.
+
+use adv_bench::{image_batch, labels, trained_autoencoders, trained_classifier};
+use adv_attacks::{Attack, DecisionRule, EadConfig, ElasticNetAttack};
+use adv_magnet::{MagnetDefense, ReconstructionDetector, ReconstructionNorm};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_evaluation_point(c: &mut Criterion) {
+    let mut clf = trained_classifier();
+    let aes = trained_autoencoders();
+    let mut defense = MagnetDefense::new(
+        "bench",
+        vec![
+            Box::new(ReconstructionDetector::new(
+                aes.ae_one.clone(),
+                ReconstructionNorm::L2,
+            )),
+            Box::new(ReconstructionDetector::new(
+                aes.ae_two.clone(),
+                ReconstructionNorm::L1,
+            )),
+        ],
+        aes.ae_one.clone(),
+        clf.clone(),
+    );
+    defense
+        .calibrate_detectors(&image_batch(64, 1, 28), 0.02)
+        .unwrap();
+
+    let x = image_batch(4, 1, 28);
+    let y = labels(4);
+    let attack = ElasticNetAttack::new(EadConfig {
+        kappa: 0.0,
+        beta: 0.01,
+        iterations: 10,
+        binary_search_steps: 1,
+        initial_c: 0.5,
+        rule: DecisionRule::ElasticNet,
+        ..EadConfig::default()
+    })
+    .unwrap();
+
+    let mut g = c.benchmark_group("evaluation_point");
+    g.sample_size(10);
+    g.bench_function("craft_and_evaluate_b4", |bench| {
+        bench.iter(|| {
+            let outcome = attack.run(&mut clf, black_box(&x), &y).unwrap();
+            defense
+                .accuracy(&outcome.adversarial, &y, adv_magnet::DefenseScheme::Full)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_evaluation_point);
+criterion_main!(benches);

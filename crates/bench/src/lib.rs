@@ -1,0 +1,57 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches measure the building blocks whose cost dominates the
+//! reproduction: convolution forward/backward, matrix products, attack
+//! iterations (EAD's ISTA step vs C&W's Adam-in-tanh-space step), detector
+//! scoring, JSD, and the full defense pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use adv_magnet::variants::{train_mnist_autoencoders, MnistAutoencoders, TrainSpec};
+use adv_nn::optim::Adam;
+use adv_nn::train::{fit_classifier, TrainConfig};
+use adv_nn::Sequential;
+use adv_tensor::{Shape, Tensor};
+
+/// A deterministic pseudo-random image batch in `[0, 1]`.
+pub fn image_batch(n: usize, c: usize, side: usize) -> Tensor {
+    Tensor::from_fn(Shape::nchw(n, c, side, side), |i| {
+        ((i as u64).wrapping_mul(2_654_435_761) % 1000) as f32 / 1000.0
+    })
+}
+
+/// A small trained MNIST-family classifier (trained briefly on synthetic
+/// digits so gradients and logits are realistic, not random).
+pub fn trained_classifier() -> Sequential {
+    let train = adv_data::synth::mnist_like(300, 77);
+    let specs = adv_magnet::arch::mnist_classifier(28, 1, 6, 12, 48, 10);
+    let mut net = Sequential::from_specs(&specs, 7).expect("valid specs");
+    let mut opt = Adam::with_defaults(1e-3);
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        seed: 5,
+        label_smoothing: 0.0,
+        verbose: false,
+    };
+    fit_classifier(&mut net, &mut opt, train.images(), train.labels(), &cfg)
+        .expect("training succeeds");
+    net
+}
+
+/// Briefly trained MNIST auto-encoders for detector/reformer benches.
+pub fn trained_autoencoders() -> MnistAutoencoders {
+    let train = adv_data::synth::mnist_like(200, 78);
+    let spec = TrainSpec {
+        epochs: 1,
+        batch_size: 32,
+        ..TrainSpec::default()
+    };
+    train_mnist_autoencoders(1, &spec, train.images()).expect("training succeeds")
+}
+
+/// Labels for a batch (deterministic, in 0..10).
+pub fn labels(n: usize) -> Vec<usize> {
+    (0..n).map(|i| (i * 7) % 10).collect()
+}

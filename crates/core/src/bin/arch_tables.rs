@@ -1,0 +1,14 @@
+//! Prints **Tables II and V**: the robust MagNet auto-encoder architectures
+//! (encoder + decoder layer lists) for MNIST and CIFAR-10.
+
+use adv_eval::config::CliArgs;
+use adv_eval::tables::arch_tables;
+
+fn main() {
+    let args = CliArgs::from_env();
+    println!("{}", arch_tables(args.scale.robust_filters));
+    println!(
+        "(The paper's variants use 256 filters; this scale uses {}.)",
+        args.scale.robust_filters
+    );
+}

@@ -1,0 +1,33 @@
+//! Developer utility: quick CIFAR classifier learnability check across
+//! training sizes/epochs (used to size the integration tests).
+
+use adv_data::synth::cifar_like;
+use adv_magnet::arch::cifar_classifier;
+use adv_nn::optim::Adam;
+use adv_nn::train::{fit_classifier, TrainConfig};
+use adv_nn::Sequential;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (n, epochs) in [(600, 3), (600, 6), (1200, 3), (1200, 5)] {
+        let train = cifar_like(n, 1);
+        let test = cifar_like(150, 2);
+        let specs = cifar_classifier(16, 3, 6, 12, 48, 10);
+        let mut net = Sequential::from_specs(&specs, 3)?;
+        let mut opt = Adam::with_defaults(1e-3);
+        let cfg = TrainConfig {
+            epochs,
+            batch_size: 32,
+            seed: 4,
+            label_smoothing: 0.0,
+            verbose: false,
+        };
+        let hist = fit_classifier(&mut net, &mut opt, train.images(), train.labels(), &cfg)?;
+        let acc = adv_eval::zoo::classifier_accuracy(&mut net, &test)?;
+        println!(
+            "n={n} epochs={epochs}: train acc {:.3}, test acc {:.3}",
+            hist.last().unwrap().accuracy.unwrap_or(0.0),
+            acc
+        );
+    }
+    Ok(())
+}

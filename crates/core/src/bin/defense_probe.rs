@@ -1,0 +1,54 @@
+//! Developer utility: detailed breakdown of one attack-vs-defense matchup —
+//! undefended ASR, distortion, detection rate, reformer correction rate.
+
+use adv_eval::config::CliArgs;
+use adv_eval::experiment::successful_examples;
+use adv_eval::sweep::{AttackKind, SweepRunner};
+use adv_eval::zoo::{Scenario, Variant, Zoo};
+use adv_magnet::DefenseScheme;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CliArgs::from_env();
+    let zoo = Zoo::new(&args.models_dir, args.scale);
+    for scenario in [Scenario::Mnist, Scenario::Cifar] {
+        println!("\n########## {} ##########", scenario.name());
+        let kappas: Vec<f32> = match scenario {
+            Scenario::Mnist => vec![0.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0],
+            Scenario::Cifar => vec![0.0, 10.0, 25.0, 50.0, 75.0, 100.0],
+        };
+        let mut runner = SweepRunner::new(&zoo, scenario)?;
+        let mut defense = zoo.defense(scenario, Variant::Default)?;
+        for kind in AttackKind::figure_trio() {
+            println!("\n--- {} ---", kind.label());
+            for &kappa in &kappas {
+                let outcome = runner.outcome(&kind, kappa)?;
+                let labels = runner.attack_set().labels.clone();
+                let eval = adv_eval::experiment::evaluate_defense(
+                    &mut defense,
+                    &outcome,
+                    &labels,
+                )?;
+                let detect_rate = if let Some((adv, _)) =
+                    successful_examples(&outcome, &labels)?
+                {
+                    let flags = defense.detect(&adv)?;
+                    flags.iter().filter(|&&f| f).count() as f32 / flags.len() as f32
+                } else {
+                    f32::NAN
+                };
+                println!(
+                    "kappa {kappa:>5}: undef-ASR {:>5.1}% | L1 {:>7} L2 {:>6} | det {:>5.1}% | acc none {:>5.1}% det {:>5.1}% ref {:>5.1}% full {:>5.1}%",
+                    eval.undefended_asr * 100.0,
+                    eval.mean_l1.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into()),
+                    eval.mean_l2.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into()),
+                    detect_rate * 100.0,
+                    eval.accuracy_for(DefenseScheme::None) * 100.0,
+                    eval.accuracy_for(DefenseScheme::DetectorOnly) * 100.0,
+                    eval.accuracy_for(DefenseScheme::ReformerOnly) * 100.0,
+                    eval.accuracy_for(DefenseScheme::Full) * 100.0,
+                );
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Extension analysis: which detector family catches which attack.
+//!
+//! The paper argues MagNet's detectors respond to the L2-style statistical
+//! footprint of C&W examples but miss EAD's sparse L1 perturbations. This
+//! binary attributes detections per detector (reconstruction-L1/L2, JSD
+//! T=10/40) for both attacks at a medium confidence — the evidence behind
+//! that claim on this substrate.
+
+use adv_eval::config::CliArgs;
+use adv_eval::experiment::successful_examples;
+use adv_eval::report::{text_table, write_csv};
+use adv_eval::sweep::{AttackKind, SweepRunner};
+use adv_eval::zoo::{Scenario, Variant, Zoo};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CliArgs::from_env();
+    let zoo = Zoo::new(&args.models_dir, args.scale);
+    let mut rows = Vec::new();
+
+    for scenario in [Scenario::Mnist, Scenario::Cifar] {
+        let kappa = match scenario {
+            Scenario::Mnist => 15.0,
+            Scenario::Cifar => 50.0,
+        };
+        let mut runner = SweepRunner::new(&zoo, scenario)?;
+        // Use the JSD-equipped variant so all four detector families appear.
+        let variant = match scenario {
+            Scenario::Mnist => Variant::DefaultJsd,
+            Scenario::Cifar => Variant::Default,
+        };
+        let mut defense = zoo.defense(scenario, variant)?;
+        let labels = runner.attack_set().labels.clone();
+
+        for kind in [
+            AttackKind::Cw,
+            AttackKind::Ead {
+                rule: adv_attacks::DecisionRule::ElasticNet,
+                beta: 0.1,
+            },
+        ] {
+            let outcome = runner.outcome(&kind, kappa)?;
+            let Some((adv, _)) = successful_examples(&outcome, &labels)? else {
+                continue;
+            };
+            let n = adv.shape().dim(0) as f32;
+            for (detector, flags) in defense.detect_breakdown(&adv)? {
+                let rate = flags.iter().filter(|&&f| f).count() as f32 / n;
+                rows.push(vec![
+                    scenario.name().to_string(),
+                    kind.label(),
+                    format!("{kappa}"),
+                    detector,
+                    format!("{:.1}", rate * 100.0),
+                ]);
+            }
+        }
+    }
+
+    println!("=== Per-detector detection rates (extension) ===\n");
+    println!(
+        "{}",
+        text_table(
+            &["scenario", "attack", "kappa", "detector", "detection %"],
+            &rows
+        )
+    );
+    write_csv(
+        format!("{}/detector_breakdown.csv", args.out_dir),
+        &["scenario", "attack", "kappa", "detector", "detection_rate"],
+        &rows,
+    )?;
+    println!(
+        "The paper's mechanism shows as higher detection rates for C&W than\n\
+         for EAD within the same detector row."
+    );
+    Ok(())
+}

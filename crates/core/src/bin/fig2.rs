@@ -1,0 +1,30 @@
+//! Reproduces **Figure 2**: MNIST defense accuracy vs confidence κ for C&W,
+//! EAD-L1 and EAD-EN (β = 0.1), one panel per MagNet variant
+//! (Default, D+JSD, D+256, D+256+JSD).
+
+use adv_eval::config::CliArgs;
+use adv_eval::figures::{defense_comparison, format_panel, panels_to_csv_rows};
+use adv_eval::report::write_csv;
+use adv_eval::zoo::{Scenario, Zoo};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CliArgs::from_env();
+    let zoo = Zoo::new(&args.models_dir, args.scale);
+    println!("=== Figure 2 (MNIST: accuracy vs kappa, per variant) ===\n");
+    let panels = defense_comparison(&zoo, Scenario::Mnist)?;
+    for panel in &panels {
+        println!("{}", format_panel(panel));
+    }
+    write_csv(
+        format!("{}/fig2_mnist.csv", args.out_dir),
+        &["panel", "curve", "kappa", "accuracy"],
+        &panels_to_csv_rows(&panels),
+    )?;
+    let svgs = adv_eval::plot::write_panels_svg(
+        &panels,
+        format!("{}/svg", args.out_dir),
+        "fig2",
+    )?;
+    println!("SVG panels written: {svgs:?} under {}/svg/", args.out_dir);
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Reproduces **Figure 4**: C&W L2 attack vs the four defense schemes
+//! (none / detector / reformer / both) for each MagNet variant on MNIST.
+
+use adv_eval::config::CliArgs;
+use adv_eval::figures::{format_panel, panels_to_csv_rows, scheme_ablation};
+use adv_eval::report::write_csv;
+use adv_eval::zoo::{Scenario, Zoo};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CliArgs::from_env();
+    let zoo = Zoo::new(&args.models_dir, args.scale);
+    println!("=== Figure 4 (MNIST: C&W vs defense schemes, per variant) ===\n");
+    let panels = scheme_ablation(&zoo, Scenario::Mnist)?;
+    for panel in &panels {
+        println!("{}", format_panel(panel));
+    }
+    write_csv(
+        format!("{}/fig4_mnist.csv", args.out_dir),
+        &["panel", "curve", "kappa", "accuracy"],
+        &panels_to_csv_rows(&panels),
+    )?;
+    let svgs = adv_eval::plot::write_panels_svg(
+        &panels,
+        format!("{}/svg", args.out_dir),
+        "fig4",
+    )?;
+    println!("SVG panels written: {svgs:?} under {}/svg/", args.out_dir);
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Reproduces **Figure 5**: C&W L2 attack vs the four defense schemes for
+//! the Default and D+256 MagNet variants on CIFAR.
+
+use adv_eval::config::CliArgs;
+use adv_eval::figures::{format_panel, panels_to_csv_rows, scheme_ablation};
+use adv_eval::report::write_csv;
+use adv_eval::zoo::{Scenario, Zoo};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CliArgs::from_env();
+    let zoo = Zoo::new(&args.models_dir, args.scale);
+    println!("=== Figure 5 (CIFAR: C&W vs defense schemes, per variant) ===\n");
+    let panels = scheme_ablation(&zoo, Scenario::Cifar)?;
+    for panel in &panels {
+        println!("{}", format_panel(panel));
+    }
+    write_csv(
+        format!("{}/fig5_cifar.csv", args.out_dir),
+        &["panel", "curve", "kappa", "accuracy"],
+        &panels_to_csv_rows(&panels),
+    )?;
+    let svgs = adv_eval::plot::write_panels_svg(
+        &panels,
+        format!("{}/svg", args.out_dir),
+        "fig5",
+    )?;
+    println!("SVG panels written: {svgs:?} under {}/svg/", args.out_dir);
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! Extension experiment (beyond the paper's tables): oblivious vs gray-box
+//! threat models.
+//!
+//! The paper's §I contrasts its *oblivious* setting with Carlini & Wagner's
+//! gray-box break of MagNet (arXiv:1711.08478), where the attacker knows an
+//! auto-encoder shields the classifier and attacks the composition
+//! `F(AE(x))`. This binary runs the same attacks both ways and reports how
+//! much the extra knowledge buys against the full defense.
+
+use adv_eval::config::CliArgs;
+use adv_eval::experiment::{evaluate_defense, select_attack_set};
+use adv_eval::report::{pct, text_table, write_csv};
+use adv_eval::sweep::AttackKind;
+use adv_eval::zoo::{Scenario, Variant, Zoo};
+use adv_magnet::graybox::ReformedModel;
+use adv_magnet::DefenseScheme;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CliArgs::from_env();
+    let zoo = Zoo::new(&args.models_dir, args.scale);
+
+    let mut rows = Vec::new();
+    for scenario in [Scenario::Mnist, Scenario::Cifar] {
+        let mut classifier = zoo.classifier(scenario)?;
+        let data = zoo.data(scenario);
+        let set = select_attack_set(
+            &mut classifier,
+            &data.test,
+            zoo.scale().attack_count,
+            zoo.scale().seed ^ 0x64AB,
+        )?;
+        let mut defense = zoo.defense(scenario, Variant::Default)?;
+
+        // Gray-box target: classifier composed with the *actual* reformer.
+        let reformer = match scenario {
+            Scenario::Mnist => {
+                zoo.mnist_autoencoders(zoo.scale().default_filters, adv_nn::loss::ReconstructionLoss::MeanSquaredError)?
+                    .ae_one
+            }
+            Scenario::Cifar => zoo.cifar_autoencoder(
+                zoo.scale().default_filters,
+                adv_nn::loss::ReconstructionLoss::MeanSquaredError,
+            )?,
+        };
+        let mut graybox_target = ReformedModel::new(reformer, classifier.clone());
+
+        let unit = match scenario {
+            Scenario::Mnist => zoo.scale().kappa_unit_mnist,
+            Scenario::Cifar => zoo.scale().kappa_unit_cifar,
+        };
+        let kappa = match scenario {
+            Scenario::Mnist => 10.0,
+            Scenario::Cifar => 25.0,
+        };
+        for kind in AttackKind::figure_trio() {
+            let attack = kind.build(kappa * unit, zoo.scale())?;
+            // Oblivious: craft on the plain classifier.
+            let oblivious = attack.run(&mut classifier, &set.images, &set.labels)?;
+            let ob_eval = evaluate_defense(&mut defense, &oblivious, &set.labels)?;
+            // Gray-box: craft through the reformer composition.
+            let gray = attack.run(&mut graybox_target, &set.images, &set.labels)?;
+            let gb_eval = evaluate_defense(&mut defense, &gray, &set.labels)?;
+            rows.push(vec![
+                scenario.name().to_string(),
+                kind.label(),
+                format!("{kappa}"),
+                pct(ob_eval.undefended_asr),
+                pct(1.0 - ob_eval.accuracy_for(DefenseScheme::Full)),
+                pct(gb_eval.undefended_asr),
+                pct(1.0 - gb_eval.accuracy_for(DefenseScheme::Full)),
+            ]);
+        }
+    }
+
+    println!("=== Oblivious vs gray-box threat models (extension) ===\n");
+    println!(
+        "{}",
+        text_table(
+            &[
+                "scenario",
+                "attack",
+                "kappa",
+                "oblivious crafted %",
+                "oblivious defended-ASR %",
+                "graybox crafted %",
+                "graybox defended-ASR %",
+            ],
+            &rows
+        )
+    );
+    write_csv(
+        format!("{}/graybox_extension.csv", args.out_dir),
+        &[
+            "scenario",
+            "attack",
+            "kappa",
+            "oblivious_crafted",
+            "oblivious_asr",
+            "graybox_crafted",
+            "graybox_asr",
+        ],
+        &rows,
+    )?;
+    println!(
+        "Gray-box crafting optimizes through the reformer, so its examples\n\
+         survive reforming by construction — the stronger threat model the\n\
+         paper argues is unnecessary for breaking MagNet with L1 attacks."
+    );
+    Ok(())
+}

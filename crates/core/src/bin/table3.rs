@@ -1,0 +1,31 @@
+//! Reproduces **Table III**: MNIST test accuracy with and without each
+//! MagNet variant (Default, D+JSD, D+256, D+256+JSD).
+
+use adv_eval::config::CliArgs;
+use adv_eval::report::write_csv;
+use adv_eval::tables::{accuracy_table, format_accuracy_table};
+use adv_eval::zoo::{Scenario, Zoo};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = CliArgs::from_env();
+    let zoo = Zoo::new(&args.models_dir, args.scale);
+    println!("=== Table III (MNIST test accuracy %) ===");
+    let rows = accuracy_table(&zoo, Scenario::Mnist)?;
+    println!("{}", format_accuracy_table(&rows));
+    let csv_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.label().to_string(),
+                format!("{:.4}", r.without),
+                format!("{:.4}", r.with),
+            ]
+        })
+        .collect();
+    write_csv(
+        format!("{}/table3_mnist.csv", args.out_dir),
+        &["variant", "without_magnet", "with_magnet"],
+        &csv_rows,
+    )?;
+    Ok(())
+}

@@ -1,0 +1,101 @@
+use std::fmt;
+
+/// Errors produced by the evaluation harness.
+#[derive(Debug)]
+pub enum EvalError {
+    /// Tensor substrate error.
+    Tensor(adv_tensor::TensorError),
+    /// Network substrate error.
+    Nn(adv_nn::NnError),
+    /// Dataset error.
+    Data(adv_data::DataError),
+    /// Defense error.
+    Magnet(adv_magnet::MagnetError),
+    /// Attack error.
+    Attack(adv_attacks::AttackError),
+    /// Filesystem error (model cache, result output).
+    Io(std::io::Error),
+    /// Invalid experiment configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Tensor(e) => write!(f, "tensor error: {e}"),
+            EvalError::Nn(e) => write!(f, "network error: {e}"),
+            EvalError::Data(e) => write!(f, "data error: {e}"),
+            EvalError::Magnet(e) => write!(f, "defense error: {e}"),
+            EvalError::Attack(e) => write!(f, "attack error: {e}"),
+            EvalError::Io(e) => write!(f, "i/o error: {e}"),
+            EvalError::InvalidConfig(msg) => write!(f, "invalid experiment config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Tensor(e) => Some(e),
+            EvalError::Nn(e) => Some(e),
+            EvalError::Data(e) => Some(e),
+            EvalError::Magnet(e) => Some(e),
+            EvalError::Attack(e) => Some(e),
+            EvalError::Io(e) => Some(e),
+            EvalError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<adv_tensor::TensorError> for EvalError {
+    fn from(e: adv_tensor::TensorError) -> Self {
+        EvalError::Tensor(e)
+    }
+}
+
+impl From<adv_nn::NnError> for EvalError {
+    fn from(e: adv_nn::NnError) -> Self {
+        EvalError::Nn(e)
+    }
+}
+
+impl From<adv_data::DataError> for EvalError {
+    fn from(e: adv_data::DataError) -> Self {
+        EvalError::Data(e)
+    }
+}
+
+impl From<adv_magnet::MagnetError> for EvalError {
+    fn from(e: adv_magnet::MagnetError) -> Self {
+        EvalError::Magnet(e)
+    }
+}
+
+impl From<adv_attacks::AttackError> for EvalError {
+    fn from(e: adv_attacks::AttackError) -> Self {
+        EvalError::Attack(e)
+    }
+}
+
+impl From<std::io::Error> for EvalError {
+    fn from(e: std::io::Error) -> Self {
+        EvalError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EvalError>();
+    }
+
+    #[test]
+    fn conversions_compose() {
+        let e: EvalError = adv_tensor::TensorError::InvalidArgument("x".into()).into();
+        assert!(e.to_string().contains("tensor error"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Result output helpers: aligned text tables for the terminal and CSV
+//! files for downstream plotting.
+
+use crate::Result;
+use std::path::Path;
+
+/// Renders rows as an aligned text table with a header rule.
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let mut out = String::new();
+    out.push_str(&render_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a CSV file (creating parent directories). Cells containing commas
+/// or quotes are quoted.
+///
+/// # Errors
+///
+/// Returns filesystem errors.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let quote = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out)?;
+    Ok(())
+}
+
+/// Formats a fraction as a percentage with one decimal ("87.5").
+pub fn pct(fraction: f32) -> String {
+    format!("{:.1}", fraction * 100.0)
+}
+
+/// Formats an optional statistic with three decimals, "-" when absent.
+pub fn opt3(v: Option<f32>) -> String {
+    v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_aligns_columns() {
+        let t = text_table(
+            &["name", "v"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let dir = std::env::temp_dir().join("adv_eval_report_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["x,y".into(), "plain".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"x,y\""));
+        assert!(content.contains("plain"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.875), "87.5");
+        assert_eq!(opt3(Some(1.23456)), "1.235");
+        assert_eq!(opt3(None), "-");
+    }
+}

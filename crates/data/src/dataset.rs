@@ -1,0 +1,244 @@
+use crate::{DataError, Result};
+use adv_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A labelled image dataset: an NCHW tensor of images in `[0, 1]` and one
+/// integer label per image.
+///
+/// # Example
+///
+/// ```
+/// use adv_data::synth::mnist_like;
+///
+/// let ds = mnist_like(100, 42);
+/// assert_eq!(ds.len(), 100);
+/// assert_eq!(ds.image_shape(), &[1, 28, 28]);
+/// assert!(ds.labels().iter().all(|&l| l < ds.num_classes()));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from an NCHW image tensor and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidArgument`] when the image tensor is not
+    /// rank 4, when the label count disagrees with the batch size, or when a
+    /// label is out of range.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self> {
+        if images.shape().rank() != 4 {
+            return Err(DataError::InvalidArgument(format!(
+                "images must be NCHW, got rank {}",
+                images.shape().rank()
+            )));
+        }
+        if images.shape().dim(0) != labels.len() {
+            return Err(DataError::InvalidArgument(format!(
+                "{} images but {} labels",
+                images.shape().dim(0),
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DataError::InvalidArgument(format!(
+                "label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        Ok(Dataset {
+            images,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// The image tensor, `[n, c, h, w]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// Labels, one per image.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the dataset holds no images.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Per-image shape `[c, h, w]`.
+    pub fn image_shape(&self) -> &[usize] {
+        &self.images.shape().dims()[1..]
+    }
+
+    /// Extracts image `i` as a single-item NCHW batch (`[1, c, h, w]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an index error when `i >= len()`.
+    pub fn image(&self, i: usize) -> Result<Tensor> {
+        let item = self.images.index_axis0(i)?;
+        let mut dims = vec![1usize];
+        dims.extend_from_slice(item.shape().dims());
+        Ok(item.into_reshaped(Shape::new(dims))?)
+    }
+
+    /// A new dataset containing rows `indices` (in that order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an index error when any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Result<Dataset> {
+        let n = self.len();
+        let item = self.images.shape().volume() / n.max(1);
+        let mut data = Vec::with_capacity(indices.len() * item);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= n {
+                return Err(DataError::Tensor(adv_tensor::TensorError::IndexOutOfBounds {
+                    index: i,
+                    bound: n,
+                }));
+            }
+            data.extend_from_slice(&self.images.as_slice()[i * item..(i + 1) * item]);
+            labels.push(self.labels[i]);
+        }
+        let mut dims = vec![indices.len()];
+        dims.extend_from_slice(self.image_shape());
+        Ok(Dataset {
+            images: Tensor::from_vec(data, Shape::new(dims))?,
+            labels,
+            num_classes: self.num_classes,
+        })
+    }
+
+    /// Splits into `(front, back)` where `front` holds `fraction` of the
+    /// data, after a seeded shuffle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidArgument`] unless `0 < fraction < 1`.
+    pub fn split(&self, fraction: f32, seed: u64) -> Result<(Dataset, Dataset)> {
+        if !(0.0..1.0).contains(&fraction) || fraction == 0.0 {
+            return Err(DataError::InvalidArgument(format!(
+                "split fraction {fraction} outside (0, 1)"
+            )));
+        }
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        let cut = ((self.len() as f32) * fraction).round() as usize;
+        let cut = cut.clamp(1, self.len().saturating_sub(1).max(1));
+        Ok((self.subset(&order[..cut])?, self.subset(&order[cut..])?))
+    }
+
+    /// A seeded random permutation of the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates subset errors (none expected for valid datasets).
+    pub fn shuffled(&self, seed: u64) -> Result<Dataset> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        self.subset(&order)
+    }
+
+    /// Indices of all images with the given label.
+    pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let images = Tensor::from_fn(Shape::nchw(n, 1, 2, 2), |i| (i % 10) as f32 / 10.0);
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(images, labels, 3).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let img = Tensor::zeros(Shape::nchw(2, 1, 2, 2));
+        assert!(Dataset::new(img.clone(), vec![0], 2).is_err());
+        assert!(Dataset::new(img.clone(), vec![0, 5], 2).is_err());
+        assert!(Dataset::new(Tensor::zeros(Shape::matrix(2, 4)), vec![0, 1], 2).is_err());
+        assert!(Dataset::new(img, vec![0, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn image_extracts_single_batch() {
+        let ds = toy(5);
+        let img = ds.image(2).unwrap();
+        assert_eq!(img.shape().dims(), &[1, 1, 2, 2]);
+        assert!(ds.image(5).is_err());
+    }
+
+    #[test]
+    fn subset_preserves_pairing() {
+        let ds = toy(9);
+        let sub = ds.subset(&[8, 0, 4]).unwrap();
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.labels(), &[8 % 3, 0, 4 % 3]);
+        assert_eq!(sub.image(0).unwrap().as_slice(), ds.image(8).unwrap().as_slice());
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let ds = toy(10);
+        let (a, b) = ds.split(0.7, 3).unwrap();
+        assert_eq!(a.len() + b.len(), 10);
+        assert_eq!(a.len(), 7);
+    }
+
+    #[test]
+    fn split_rejects_bad_fraction() {
+        let ds = toy(4);
+        assert!(ds.split(0.0, 0).is_err());
+        assert!(ds.split(1.0, 0).is_err());
+        assert!(ds.split(-0.5, 0).is_err());
+    }
+
+    #[test]
+    fn shuffle_is_seeded_permutation() {
+        let ds = toy(20);
+        let a = ds.shuffled(7).unwrap();
+        let b = ds.shuffled(7).unwrap();
+        assert_eq!(a, b);
+        let mut la = a.labels().to_vec();
+        let mut lo = ds.labels().to_vec();
+        la.sort_unstable();
+        lo.sort_unstable();
+        assert_eq!(la, lo);
+    }
+
+    #[test]
+    fn class_indices() {
+        let ds = toy(9);
+        assert_eq!(ds.indices_of_class(0), vec![0, 3, 6]);
+        assert_eq!(ds.indices_of_class(2), vec![2, 5, 8]);
+    }
+}

@@ -1,0 +1,67 @@
+use adv_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced while building or loading datasets.
+#[derive(Debug)]
+pub enum DataError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A dataset file was malformed (bad magic, truncated, wrong counts).
+    Format(String),
+    /// Filesystem error while reading a dataset.
+    Io(std::io::Error),
+    /// An invalid request (e.g. split fraction outside `(0, 1)`).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DataError::Format(msg) => write!(f, "malformed dataset: {msg}"),
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(DataError::Format("x".into()).to_string().contains("malformed"));
+        assert!(DataError::InvalidArgument("y".into())
+            .to_string()
+            .contains("invalid"));
+    }
+}

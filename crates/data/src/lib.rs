@@ -1,0 +1,31 @@
+//! Datasets for the MagNet/EAD reproduction.
+//!
+//! The paper evaluates on MNIST and CIFAR-10. Those corpora are not shipped
+//! with this repository, so this crate provides both:
+//!
+//! - **Synthetic generators** ([`synth`]) that procedurally render
+//!   MNIST-like stroke digits (28×28×1) and CIFAR-like colored scenes
+//!   (16×16×3). They preserve what the experiments need: a 10-class image
+//!   task with a learnable data manifold, enough intra-class variation to
+//!   train classifiers and auto-encoders, and pixel values in `[0, 1]`.
+//! - **Real-format parsers** ([`loaders`]) for the IDX (MNIST) and CIFAR-10
+//!   binary formats, used automatically when the files are present (see
+//!   [`mnist_from_dir`] / [`cifar10_from_dir`]).
+//!
+//! [`mnist_from_dir`]: loaders::mnist_from_dir
+//! [`cifar10_from_dir`]: loaders::cifar10_from_dir
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod error;
+
+pub mod loaders;
+pub mod synth;
+
+pub use dataset::Dataset;
+pub use error::DataError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DataError>;

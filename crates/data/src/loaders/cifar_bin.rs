@@ -1,0 +1,131 @@
+//! CIFAR-10 binary format parser.
+//!
+//! Each CIFAR-10 binary batch is a sequence of 3073-byte records: one label
+//! byte followed by 3072 pixel bytes (1024 red, 1024 green, 1024 blue,
+//! row-major 32×32) — which is exactly NCHW order, so parsing is a straight
+//! scale-to-`[0,1]` copy.
+
+use crate::{DataError, Dataset, Result};
+use adv_tensor::{Shape, Tensor};
+use std::path::Path;
+
+/// CIFAR image side length.
+const SIZE: usize = 32;
+/// Bytes per record: label + 3 × 32 × 32 pixels.
+const RECORD: usize = 1 + 3 * SIZE * SIZE;
+
+/// Parses one CIFAR-10 binary batch into `(images, labels)`.
+///
+/// # Errors
+///
+/// Returns [`DataError::Format`] when the file length is not a multiple of
+/// the 3073-byte record size or a label exceeds 9.
+pub fn parse_cifar_batch(data: &[u8]) -> Result<(Tensor, Vec<usize>)> {
+    if data.is_empty() || !data.len().is_multiple_of(RECORD) {
+        return Err(DataError::Format(format!(
+            "CIFAR batch length {} is not a positive multiple of {RECORD}",
+            data.len()
+        )));
+    }
+    let n = data.len() / RECORD;
+    let mut labels = Vec::with_capacity(n);
+    let mut pixels = Vec::with_capacity(n * (RECORD - 1));
+    for rec in data.chunks_exact(RECORD) {
+        let label = rec[0] as usize;
+        if label > 9 {
+            return Err(DataError::Format(format!("label {label} exceeds 9")));
+        }
+        labels.push(label);
+        pixels.extend(rec[1..].iter().map(|&b| b as f32 / 255.0));
+    }
+    let images = Tensor::from_vec(pixels, Shape::nchw(n, 3, SIZE, SIZE))?;
+    Ok((images, labels))
+}
+
+/// Loads CIFAR-10 from a directory of binary batches.
+///
+/// Reads `data_batch_1.bin` … `data_batch_5.bin` when `train` is `true`,
+/// `test_batch.bin` otherwise.
+///
+/// # Errors
+///
+/// Returns I/O errors for missing files and [`DataError::Format`] for
+/// malformed batches.
+pub fn cifar10_from_dir(dir: impl AsRef<Path>, train: bool) -> Result<Dataset> {
+    let dir = dir.as_ref();
+    let names: Vec<String> = if train {
+        (1..=5).map(|i| format!("data_batch_{i}.bin")).collect()
+    } else {
+        vec!["test_batch.bin".to_string()]
+    };
+    let mut all_images = Vec::new();
+    let mut all_labels = Vec::new();
+    for name in names {
+        let (images, labels) = parse_cifar_batch(&std::fs::read(dir.join(name))?)?;
+        all_images.push(images);
+        all_labels.extend(labels);
+    }
+    let images = Tensor::concat0(&all_images)?;
+    Dataset::new(images, all_labels, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_batch(labels: &[u8]) -> Vec<u8> {
+        let mut data = Vec::new();
+        for (i, &l) in labels.iter().enumerate() {
+            data.push(l);
+            data.extend((0..RECORD - 1).map(|j| ((i + j) % 256) as u8));
+        }
+        data
+    }
+
+    #[test]
+    fn parses_records() {
+        let batch = make_batch(&[0, 5, 9]);
+        let (images, labels) = parse_cifar_batch(&batch).unwrap();
+        assert_eq!(images.shape().dims(), &[3, 3, 32, 32]);
+        assert_eq!(labels, vec![0, 5, 9]);
+        assert!(images.min() >= 0.0 && images.max() <= 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_length() {
+        let batch = make_batch(&[1]);
+        assert!(parse_cifar_batch(&batch[..batch.len() - 1]).is_err());
+        assert!(parse_cifar_batch(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_label() {
+        let mut batch = make_batch(&[1]);
+        batch[0] = 12;
+        assert!(matches!(
+            parse_cifar_batch(&batch),
+            Err(DataError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn dir_loader_test_batch() {
+        let dir = std::env::temp_dir().join("adv_data_cifar_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("test_batch.bin"), make_batch(&[2, 7])).unwrap();
+        let ds = cifar10_from_dir(&dir, false).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.labels(), &[2, 7]);
+        assert_eq!(ds.image_shape(), &[3, 32, 32]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dir_loader_missing_is_io_error() {
+        let missing = std::env::temp_dir().join("adv_data_cifar_nonexistent");
+        assert!(matches!(
+            cifar10_from_dir(&missing, false),
+            Err(DataError::Io(_))
+        ));
+    }
+}

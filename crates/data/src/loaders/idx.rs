@@ -1,0 +1,178 @@
+//! IDX format parser (the format MNIST is distributed in).
+//!
+//! IDX is big-endian: a magic number encoding the element type and rank,
+//! then one `u32` per dimension, then the raw data. MNIST uses
+//! `0x00000803` for images (`u8`, rank 3) and `0x00000801` for labels
+//! (`u8`, rank 1).
+
+use crate::{DataError, Dataset, Result};
+use adv_tensor::{Shape, Tensor};
+use std::path::Path;
+
+const IMAGE_MAGIC: u32 = 0x0000_0803;
+const LABEL_MAGIC: u32 = 0x0000_0801;
+
+fn read_u32_be(data: &[u8], offset: usize) -> Result<u32> {
+    let bytes: [u8; 4] = data
+        .get(offset..offset + 4)
+        .ok_or_else(|| DataError::Format("truncated IDX header".into()))?
+        .try_into()
+        .expect("slice of length 4");
+    Ok(u32::from_be_bytes(bytes))
+}
+
+/// Parses an IDX image file into an NCHW tensor with pixels scaled to
+/// `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`DataError::Format`] for wrong magic, truncated headers, or a
+/// data section that does not match the declared dimensions.
+pub fn parse_idx_images(data: &[u8]) -> Result<Tensor> {
+    let magic = read_u32_be(data, 0)?;
+    if magic != IMAGE_MAGIC {
+        return Err(DataError::Format(format!(
+            "bad IDX image magic {magic:#010x}, expected {IMAGE_MAGIC:#010x}"
+        )));
+    }
+    let n = read_u32_be(data, 4)? as usize;
+    let h = read_u32_be(data, 8)? as usize;
+    let w = read_u32_be(data, 12)? as usize;
+    let expected = 16 + n * h * w;
+    if data.len() != expected {
+        return Err(DataError::Format(format!(
+            "IDX image file has {} bytes, expected {expected}",
+            data.len()
+        )));
+    }
+    let pixels: Vec<f32> = data[16..].iter().map(|&b| b as f32 / 255.0).collect();
+    Ok(Tensor::from_vec(pixels, Shape::nchw(n, 1, h, w))?)
+}
+
+/// Parses an IDX label file into a label vector.
+///
+/// # Errors
+///
+/// Returns [`DataError::Format`] for wrong magic or truncated data.
+pub fn parse_idx_labels(data: &[u8]) -> Result<Vec<usize>> {
+    let magic = read_u32_be(data, 0)?;
+    if magic != LABEL_MAGIC {
+        return Err(DataError::Format(format!(
+            "bad IDX label magic {magic:#010x}, expected {LABEL_MAGIC:#010x}"
+        )));
+    }
+    let n = read_u32_be(data, 4)? as usize;
+    if data.len() != 8 + n {
+        return Err(DataError::Format(format!(
+            "IDX label file has {} bytes, expected {}",
+            data.len(),
+            8 + n
+        )));
+    }
+    Ok(data[8..].iter().map(|&b| b as usize).collect())
+}
+
+/// Loads the MNIST test split from a directory containing
+/// `t10k-images-idx3-ubyte` and `t10k-labels-idx1-ubyte` (or the `train-`
+/// pair when `train` is `true`).
+///
+/// # Errors
+///
+/// Returns I/O errors when the files are absent and [`DataError::Format`]
+/// when they are malformed or disagree in length.
+pub fn mnist_from_dir(dir: impl AsRef<Path>, train: bool) -> Result<Dataset> {
+    let dir = dir.as_ref();
+    let (img_name, lbl_name) = if train {
+        ("train-images-idx3-ubyte", "train-labels-idx1-ubyte")
+    } else {
+        ("t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte")
+    };
+    let images = parse_idx_images(&std::fs::read(dir.join(img_name))?)?;
+    let labels = parse_idx_labels(&std::fs::read(dir.join(lbl_name))?)?;
+    if images.shape().dim(0) != labels.len() {
+        return Err(DataError::Format(format!(
+            "{} images but {} labels",
+            images.shape().dim(0),
+            labels.len()
+        )));
+    }
+    Dataset::new(images, labels, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_image_file(n: usize, h: usize, w: usize) -> Vec<u8> {
+        let mut f = Vec::new();
+        f.extend_from_slice(&IMAGE_MAGIC.to_be_bytes());
+        f.extend_from_slice(&(n as u32).to_be_bytes());
+        f.extend_from_slice(&(h as u32).to_be_bytes());
+        f.extend_from_slice(&(w as u32).to_be_bytes());
+        f.extend((0..n * h * w).map(|i| (i % 256) as u8));
+        f
+    }
+
+    fn make_label_file(labels: &[u8]) -> Vec<u8> {
+        let mut f = Vec::new();
+        f.extend_from_slice(&LABEL_MAGIC.to_be_bytes());
+        f.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+        f.extend_from_slice(labels);
+        f
+    }
+
+    #[test]
+    fn parses_synthetic_image_file() {
+        let file = make_image_file(3, 4, 5);
+        let t = parse_idx_images(&file).unwrap();
+        assert_eq!(t.shape().dims(), &[3, 1, 4, 5]);
+        assert_eq!(t.as_slice()[0], 0.0);
+        assert!((t.as_slice()[59] - 59.0 / 255.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parses_synthetic_label_file() {
+        let file = make_label_file(&[3, 1, 4]);
+        assert_eq!(parse_idx_labels(&file).unwrap(), vec![3, 1, 4]);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let mut img = make_image_file(1, 2, 2);
+        img[3] = 0x01;
+        assert!(matches!(parse_idx_images(&img), Err(DataError::Format(_))));
+        let mut lbl = make_label_file(&[0]);
+        lbl[3] = 0x03;
+        assert!(matches!(parse_idx_labels(&lbl), Err(DataError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let img = make_image_file(2, 3, 3);
+        assert!(parse_idx_images(&img[..img.len() - 1]).is_err());
+        assert!(parse_idx_images(&img[..10]).is_err());
+        let lbl = make_label_file(&[1, 2, 3]);
+        assert!(parse_idx_labels(&lbl[..lbl.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn dir_loader_roundtrip() {
+        let dir = std::env::temp_dir().join("adv_data_idx_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("t10k-images-idx3-ubyte"), make_image_file(2, 3, 3)).unwrap();
+        std::fs::write(dir.join("t10k-labels-idx1-ubyte"), make_label_file(&[7, 2])).unwrap();
+        let ds = mnist_from_dir(&dir, false).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.labels(), &[7, 2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dir_loader_missing_files_is_io_error() {
+        let missing = std::env::temp_dir().join("adv_data_idx_nonexistent");
+        assert!(matches!(
+            mnist_from_dir(&missing, false),
+            Err(DataError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,14 @@
+//! Parsers for the real dataset formats.
+//!
+//! When the actual corpora are available on disk, the evaluation harness
+//! prefers them over the synthetic generators:
+//!
+//! - [`idx`] parses the IDX format MNIST ships in
+//!   (`train-images-idx3-ubyte` / `train-labels-idx1-ubyte`),
+//! - [`cifar_bin`] parses the CIFAR-10 binary batches (`data_batch_N.bin`).
+
+pub mod cifar_bin;
+pub mod idx;
+
+pub use cifar_bin::{cifar10_from_dir, parse_cifar_batch};
+pub use idx::{mnist_from_dir, parse_idx_images, parse_idx_labels};

@@ -1,0 +1,282 @@
+//! Procedural MNIST-like digits.
+//!
+//! Each digit class is a fixed set of stroke polylines in the unit square.
+//! Per sample, the strokes undergo a random affine jitter (rotation, scale,
+//! translation, shear), are rasterized with an anti-aliased distance-field
+//! pen of randomized thickness, and receive light pixel noise. The result is
+//! a 28×28 grayscale image in `[0, 1]` with MNIST's "white ink on black
+//! paper" polarity.
+
+use crate::Dataset;
+use adv_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Image side length (matches MNIST).
+pub const MNIST_SIZE: usize = 28;
+/// Number of classes.
+pub const MNIST_CLASSES: usize = 10;
+
+type Polyline = Vec<(f32, f32)>;
+
+fn circle(cx: f32, cy: f32, rx: f32, ry: f32, n: usize) -> Polyline {
+    (0..=n)
+        .map(|i| {
+            let a = i as f32 / n as f32 * std::f32::consts::TAU;
+            (cx + rx * a.cos(), cy + ry * a.sin())
+        })
+        .collect()
+}
+
+/// Stroke skeletons for the ten digit classes, in unit coordinates
+/// (x right, y down).
+fn glyph(digit: usize) -> Vec<Polyline> {
+    match digit {
+        0 => vec![circle(0.5, 0.5, 0.22, 0.33, 24)],
+        1 => vec![vec![(0.35, 0.28), (0.52, 0.12), (0.52, 0.88)]],
+        2 => vec![vec![
+            (0.25, 0.3),
+            (0.32, 0.16),
+            (0.55, 0.12),
+            (0.72, 0.22),
+            (0.72, 0.38),
+            (0.3, 0.66),
+            (0.22, 0.85),
+            (0.78, 0.85),
+        ]],
+        3 => vec![vec![
+            (0.26, 0.18),
+            (0.55, 0.12),
+            (0.72, 0.25),
+            (0.6, 0.42),
+            (0.42, 0.47),
+            (0.62, 0.52),
+            (0.74, 0.68),
+            (0.6, 0.85),
+            (0.28, 0.84),
+        ]],
+        4 => vec![
+            vec![(0.62, 0.88), (0.62, 0.1), (0.2, 0.62), (0.82, 0.62)],
+        ],
+        5 => vec![vec![
+            (0.72, 0.14),
+            (0.3, 0.14),
+            (0.27, 0.45),
+            (0.55, 0.42),
+            (0.73, 0.55),
+            (0.73, 0.72),
+            (0.55, 0.86),
+            (0.26, 0.8),
+        ]],
+        6 => vec![vec![
+            (0.66, 0.13),
+            (0.42, 0.3),
+            (0.3, 0.55),
+            (0.31, 0.75),
+            (0.48, 0.88),
+            (0.66, 0.78),
+            (0.67, 0.6),
+            (0.48, 0.52),
+            (0.32, 0.6),
+        ]],
+        7 => vec![vec![(0.22, 0.14), (0.78, 0.14), (0.45, 0.88)]],
+        8 => vec![
+            circle(0.5, 0.3, 0.17, 0.17, 20),
+            circle(0.5, 0.67, 0.21, 0.2, 20),
+        ],
+        9 => vec![
+            circle(0.5, 0.34, 0.19, 0.2, 20),
+            vec![(0.69, 0.36), (0.66, 0.88)],
+        ],
+        _ => unreachable!("digit classes are 0..10"),
+    }
+}
+
+/// Squared distance from point `p` to segment `(a, b)`.
+fn dist_sq_to_segment(p: (f32, f32), a: (f32, f32), b: (f32, f32)) -> f32 {
+    let (px, py) = p;
+    let (ax, ay) = a;
+    let (bx, by) = b;
+    let (dx, dy) = (bx - ax, by - ay);
+    let len_sq = dx * dx + dy * dy;
+    let t = if len_sq > 0.0 {
+        (((px - ax) * dx + (py - ay) * dy) / len_sq).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let (cx, cy) = (ax + t * dx, ay + t * dy);
+    (px - cx) * (px - cx) + (py - cy) * (py - cy)
+}
+
+struct Affine {
+    a: f32,
+    b: f32,
+    c: f32,
+    d: f32,
+    tx: f32,
+    ty: f32,
+}
+
+impl Affine {
+    fn apply(&self, (x, y): (f32, f32)) -> (f32, f32) {
+        // Transform about the glyph center (0.5, 0.5).
+        let (x, y) = (x - 0.5, y - 0.5);
+        (
+            self.a * x + self.b * y + 0.5 + self.tx,
+            self.c * x + self.d * y + 0.5 + self.ty,
+        )
+    }
+}
+
+fn sample_affine(rng: &mut StdRng) -> Affine {
+    let theta: f32 = rng.gen_range(-0.22..0.22); // ±12.6°
+    let scale: f32 = rng.gen_range(0.82..1.08);
+    let shear: f32 = rng.gen_range(-0.15..0.15);
+    let (s, c) = theta.sin_cos();
+    Affine {
+        a: scale * (c + shear * s),
+        b: scale * (-s + shear * c),
+        c: scale * s,
+        d: scale * c,
+        tx: rng.gen_range(-0.06..0.06),
+        ty: rng.gen_range(-0.06..0.06),
+    }
+}
+
+/// Rasterizes one digit with the given RNG.
+fn render_digit(digit: usize, rng: &mut StdRng, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), MNIST_SIZE * MNIST_SIZE);
+    let affine = sample_affine(rng);
+    let strokes: Vec<Polyline> = glyph(digit)
+        .into_iter()
+        .map(|line| line.into_iter().map(|p| affine.apply(p)).collect())
+        .collect();
+    let thickness: f32 = rng.gen_range(0.035..0.055);
+    let soft = 0.02f32;
+    let ink: f32 = rng.gen_range(0.85..1.0);
+
+    for (i, px) in out.iter_mut().enumerate() {
+        let y = (i / MNIST_SIZE) as f32 / (MNIST_SIZE - 1) as f32;
+        let x = (i % MNIST_SIZE) as f32 / (MNIST_SIZE - 1) as f32;
+        let mut d_sq = f32::INFINITY;
+        for line in &strokes {
+            for seg in line.windows(2) {
+                d_sq = d_sq.min(dist_sq_to_segment((x, y), seg[0], seg[1]));
+            }
+        }
+        let d = d_sq.sqrt();
+        let v = ink * (1.0 - ((d - thickness) / soft)).clamp(0.0, 1.0);
+        // Sensor noise: enough texture that auto-encoders see a non-trivial
+        // clean reconstruction-error floor (as with real scans), which is
+        // what gives MagNet's detector thresholds their headroom.
+        let noise: f32 = rng.gen_range(-0.06..0.06);
+        *px = (v + noise).clamp(0.0, 1.0);
+    }
+}
+
+/// Generates `n` MNIST-like 28×28 grayscale digits with balanced classes.
+///
+/// Deterministic in `seed`. Class of image `i` is *not* simply `i % 10`; the
+/// class sequence is drawn from the RNG so that any prefix of the dataset is
+/// class-balanced in expectation but not trivially ordered.
+///
+/// # Panics
+///
+/// Does not panic for any `n` (an empty dataset is returned for `n = 0`).
+pub fn mnist_like(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = vec![0.0f32; n * MNIST_SIZE * MNIST_SIZE];
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let digit = rng.gen_range(0..MNIST_CLASSES);
+        labels.push(digit);
+        render_digit(
+            digit,
+            &mut rng,
+            &mut data[i * MNIST_SIZE * MNIST_SIZE..(i + 1) * MNIST_SIZE * MNIST_SIZE],
+        );
+    }
+    let images = Tensor::from_vec(data, Shape::nchw(n, 1, MNIST_SIZE, MNIST_SIZE))
+        .expect("generator shape is consistent by construction");
+    Dataset::new(images, labels, MNIST_CLASSES).expect("labels are in range by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_and_shape() {
+        let ds = mnist_like(25, 1);
+        assert_eq!(ds.len(), 25);
+        assert_eq!(ds.image_shape(), &[1, 28, 28]);
+        assert_eq!(ds.num_classes(), 10);
+    }
+
+    #[test]
+    fn pixels_stay_in_unit_box() {
+        let ds = mnist_like(50, 2);
+        assert!(ds.images().min() >= 0.0);
+        assert!(ds.images().max() <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(mnist_like(10, 7), mnist_like(10, 7));
+        assert_ne!(mnist_like(10, 7), mnist_like(10, 8));
+    }
+
+    #[test]
+    fn images_have_ink() {
+        let ds = mnist_like(20, 3);
+        for i in 0..20 {
+            let img = ds.image(i).unwrap();
+            assert!(img.max() > 0.5, "image {i} has max {}", img.max());
+            // Digit strokes cover a minority of the canvas.
+            assert!(img.mean() < 0.5, "image {i} has mean {}", img.mean());
+        }
+    }
+
+    #[test]
+    fn all_classes_appear() {
+        let ds = mnist_like(300, 4);
+        for c in 0..10 {
+            assert!(
+                !ds.indices_of_class(c).is_empty(),
+                "class {c} missing from 300 samples"
+            );
+        }
+    }
+
+    #[test]
+    fn same_class_images_differ() {
+        // Affine jitter must create intra-class variation.
+        let ds = mnist_like(100, 5);
+        let idx = ds.indices_of_class(3);
+        assert!(idx.len() >= 2);
+        let a = ds.image(idx[0]).unwrap();
+        let b = ds.image(idx[1]).unwrap();
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn empty_dataset_is_valid() {
+        let ds = mnist_like(0, 0);
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn segment_distance_basics() {
+        // Point on the segment.
+        assert_eq!(dist_sq_to_segment((0.5, 0.0), (0.0, 0.0), (1.0, 0.0)), 0.0);
+        // Perpendicular distance.
+        let d = dist_sq_to_segment((0.5, 0.3), (0.0, 0.0), (1.0, 0.0));
+        assert!((d - 0.09).abs() < 1e-6);
+        // Beyond endpoint clamps.
+        let d = dist_sq_to_segment((2.0, 0.0), (0.0, 0.0), (1.0, 0.0));
+        assert!((d - 1.0).abs() < 1e-6);
+        // Degenerate (point) segment.
+        let d = dist_sq_to_segment((1.0, 1.0), (0.0, 0.0), (0.0, 0.0));
+        assert!((d - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,11 @@
+//! Procedural dataset generators.
+//!
+//! These stand in for the real MNIST / CIFAR-10 corpora (see the
+//! substitution table in `DESIGN.md`). Both generators are deterministic
+//! given a seed and produce pixel values in `[0, 1]`.
+
+mod cifar;
+mod mnist;
+
+pub use cifar::{cifar_like, CIFAR_CHANNELS, CIFAR_CLASSES, CIFAR_SIZE};
+pub use mnist::{mnist_like, MNIST_CLASSES, MNIST_SIZE};

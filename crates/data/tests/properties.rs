@@ -1,0 +1,88 @@
+//! Property-based tests for dataset invariants: splits partition, subsets
+//! preserve image/label pairing, generators stay in the unit box and are
+//! seed-deterministic, and the real-format parsers round-trip synthetic
+//! files of random geometry.
+
+use adv_data::loaders::{parse_cifar_batch, parse_idx_images, parse_idx_labels};
+use adv_data::synth::{cifar_like, mnist_like};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn split_partitions_and_preserves_pairs(n in 4usize..40, frac in 0.2f32..0.8, seed in 0u64..50) {
+        let ds = mnist_like(n, seed);
+        let (a, b) = ds.split(frac, seed ^ 1).unwrap();
+        prop_assert_eq!(a.len() + b.len(), n);
+        // Every (image, label) pair in the split exists in the original.
+        for part in [&a, &b] {
+            for i in 0..part.len() {
+                let img = part.image(i).unwrap();
+                let found = (0..ds.len()).any(|j| {
+                    ds.labels()[j] == part.labels()[i]
+                        && ds.image(j).unwrap().as_slice() == img.as_slice()
+                });
+                prop_assert!(found, "split row {i} not found in original");
+            }
+        }
+    }
+
+    #[test]
+    fn subset_of_subset_composes(n in 6usize..30, seed in 0u64..50) {
+        let ds = cifar_like(n, seed);
+        let idx1: Vec<usize> = (0..n).step_by(2).collect();
+        let sub1 = ds.subset(&idx1).unwrap();
+        let idx2: Vec<usize> = (0..sub1.len()).rev().collect();
+        let sub2 = sub1.subset(&idx2).unwrap();
+        let direct: Vec<usize> = idx2.iter().map(|&i| idx1[i]).collect();
+        prop_assert_eq!(sub2, ds.subset(&direct).unwrap());
+    }
+
+    #[test]
+    fn generators_unit_box_and_deterministic(n in 1usize..12, seed in 0u64..100) {
+        for ds in [mnist_like(n, seed), cifar_like(n, seed)] {
+            prop_assert!(ds.images().min() >= 0.0);
+            prop_assert!(ds.images().max() <= 1.0);
+        }
+        prop_assert_eq!(mnist_like(n, seed), mnist_like(n, seed));
+        prop_assert_eq!(cifar_like(n, seed), cifar_like(n, seed));
+    }
+
+    #[test]
+    fn idx_roundtrip_random_geometry(n in 1usize..5, h in 1usize..10, w in 1usize..10) {
+        let mut file = Vec::new();
+        file.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+        file.extend_from_slice(&(n as u32).to_be_bytes());
+        file.extend_from_slice(&(h as u32).to_be_bytes());
+        file.extend_from_slice(&(w as u32).to_be_bytes());
+        file.extend((0..n * h * w).map(|i| (i * 7 % 256) as u8));
+        let t = parse_idx_images(&file).unwrap();
+        prop_assert_eq!(t.shape().dims(), &[n, 1, h, w]);
+        // Spot-check the scaling of the last byte.
+        let last = ((n * h * w - 1) * 7 % 256) as f32 / 255.0;
+        prop_assert!((t.as_slice()[n * h * w - 1] - last).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idx_labels_roundtrip(labels in proptest::collection::vec(0u8..10, 1..30)) {
+        let mut file = Vec::new();
+        file.extend_from_slice(&0x0000_0801u32.to_be_bytes());
+        file.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+        file.extend_from_slice(&labels);
+        let parsed = parse_idx_labels(&file).unwrap();
+        prop_assert_eq!(parsed, labels.iter().map(|&b| b as usize).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cifar_batch_roundtrip(labels in proptest::collection::vec(0u8..10, 1..4)) {
+        let mut data = Vec::new();
+        for (i, &l) in labels.iter().enumerate() {
+            data.push(l);
+            data.extend((0..3072).map(|j| ((i * 31 + j) % 256) as u8));
+        }
+        let (images, parsed) = parse_cifar_batch(&data).unwrap();
+        prop_assert_eq!(images.shape().dims(), &[labels.len(), 3, 32, 32]);
+        prop_assert_eq!(parsed, labels.iter().map(|&b| b as usize).collect::<Vec<_>>());
+    }
+}

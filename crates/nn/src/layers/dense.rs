@@ -1,0 +1,161 @@
+use crate::layer::{Layer, Mode, Param};
+use crate::{NnError, Result};
+use adv_tensor::ops::{matmul, matmul_a_bt, matmul_at_b};
+use adv_tensor::{init, Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fully connected layer: `y = x·W + b` with `x: [batch, in]`,
+/// `W: [in, out]`, `b: [out]`.
+#[derive(Debug)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    inputs: usize,
+    outputs: usize,
+    cache: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Glorot-uniform weights drawn from `seed`.
+    pub fn new(inputs: usize, outputs: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weight = init::glorot_uniform(Shape::matrix(inputs, outputs), inputs, outputs, &mut rng);
+        Dense {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(Shape::vector(outputs))),
+            inputs,
+            outputs,
+            cache: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Output feature count.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let mut y = matmul(input, &self.weight.value)?;
+        let b = self.bias.value.as_slice();
+        for row in y.as_mut_slice().chunks_exact_mut(self.outputs) {
+            for (v, &bi) in row.iter_mut().zip(b.iter()) {
+                *v += bi;
+            }
+        }
+        self.cache = Some(input.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::NoForwardCache { layer: "dense" })?;
+        // dW = xᵀ·dy
+        let dw = matmul_at_b(x, grad_out)?;
+        self.weight.grad.add_assign(&dw)?;
+        // db = column sums of dy
+        for row in grad_out.as_slice().chunks_exact(self.outputs) {
+            for (g, &v) in self.bias.grad.as_mut_slice().iter_mut().zip(row.iter()) {
+                *g += v;
+            }
+        }
+        // dx = dy·Wᵀ
+        Ok(matmul_a_bt(grad_out, &self.weight.value)?)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn layer_type(&self) -> &'static str {
+        "dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_applies_affine_map() {
+        let mut layer = Dense::new(2, 2, 0);
+        // Overwrite weights with a known matrix.
+        layer.params_mut()[0].value =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::matrix(2, 2)).unwrap();
+        layer.params_mut()[1].value = Tensor::from_vec(vec![0.5, -0.5], Shape::vector(2)).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 1.0], Shape::matrix(1, 2)).unwrap();
+        let y = layer.forward(&x, Mode::Eval).unwrap();
+        // [1,1]·[[1,2],[3,4]] + [0.5,-0.5] = [4.5, 5.5]
+        assert_eq!(y.as_slice(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut layer = Dense::new(2, 2, 0);
+        let dy = Tensor::zeros(Shape::matrix(1, 2));
+        assert!(matches!(
+            layer.backward(&dy),
+            Err(NnError::NoForwardCache { .. })
+        ));
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut layer = Dense::new(3, 2, 7);
+        let x = Tensor::from_vec(vec![0.2, -0.4, 0.9, 1.0, 0.0, -1.0], Shape::matrix(2, 3)).unwrap();
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        let dy = Tensor::ones(y.shape().clone());
+        let dx = layer.backward(&dy).unwrap();
+
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let mut probe = Dense::new(3, 2, 7);
+            let fp = probe.forward(&xp, Mode::Train).unwrap().sum();
+            let fm = probe.forward(&xm, Mode::Train).unwrap().sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (fd - dx.as_slice()[i]).abs() < 1e-2,
+                "dx[{i}]: {fd} vs {}",
+                dx.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_accumulates() {
+        let mut layer = Dense::new(2, 1, 1);
+        let x = Tensor::from_vec(vec![1.0, 2.0], Shape::matrix(1, 2)).unwrap();
+        let _ = layer.forward(&x, Mode::Train).unwrap();
+        let dy = Tensor::ones(Shape::matrix(1, 1));
+        let _ = layer.backward(&dy).unwrap();
+        let _ = layer.forward(&x, Mode::Train).unwrap();
+        let _ = layer.backward(&dy).unwrap();
+        // dW = x for each pass; two passes accumulate.
+        assert_eq!(layer.params()[0].grad.as_slice(), &[2.0, 4.0]);
+        assert_eq!(layer.params()[1].grad.as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn seeded_construction_reproducible() {
+        let a = Dense::new(4, 4, 9);
+        let b = Dense::new(4, 4, 9);
+        assert_eq!(a.params()[0].value, b.params()[0].value);
+    }
+}

@@ -1,0 +1,119 @@
+use crate::layer::{Layer, Mode};
+use crate::{NnError, Result};
+use adv_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: active only in [`Mode::Train`], identity in
+/// [`Mode::Eval`].
+///
+/// Kept values are scaled by `1/(1−p)` during training so the eval path needs
+/// no rescaling. The mask RNG is owned by the layer and seeded at
+/// construction, keeping training reproducible.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer dropping each unit with probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidArgument`] unless `0.0 <= p < 1.0`.
+    pub fn new(p: f32, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NnError::InvalidArgument(format!(
+                "dropout probability {p} outside [0, 1)"
+            )));
+        }
+        Ok(Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        })
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        match mode {
+            Mode::Eval => {
+                self.mask = Some(Tensor::ones(input.shape().clone()));
+                Ok(input.clone())
+            }
+            Mode::Train => {
+                let keep = 1.0 - self.p;
+                let mask = Tensor::from_fn(input.shape().clone(), |_| {
+                    if self.rng.gen::<f32>() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                });
+                let y = input.mul(&mask)?;
+                self.mask = Some(mask);
+                Ok(y)
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or(NnError::NoForwardCache { layer: "dropout" })?;
+        Ok(grad_out.mul(mask)?)
+    }
+
+    fn layer_type(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adv_tensor::Shape;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 0).unwrap();
+        let x = Tensor::ones(Shape::vector(8));
+        let y = d.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 123).unwrap();
+        let x = Tensor::ones(Shape::vector(20_000));
+        let y = d.forward(&x, Mode::Train).unwrap();
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 7).unwrap();
+        let x = Tensor::ones(Shape::vector(16));
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let dx = d.backward(&Tensor::ones(x.shape().clone())).unwrap();
+        // Where the output was zeroed, the gradient must be zeroed too.
+        for (yo, go) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(yo == &0.0, go == &0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_probability() {
+        assert!(Dropout::new(1.0, 0).is_err());
+        assert!(Dropout::new(-0.1, 0).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+use crate::layer::{Layer, Mode};
+use crate::{NnError, Result};
+use adv_tensor::{Shape, Tensor};
+
+/// Flattens NCHW (or any rank ≥ 2) batches to `[batch, features]`, the shape
+/// dense layers expect.
+#[derive(Debug)]
+pub struct Flatten {
+    cache: Option<Shape>,
+}
+
+impl Flatten {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        Flatten { cache: None }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.shape().rank() < 2 {
+            return Err(NnError::InvalidArgument(
+                "flatten requires a batched input (rank >= 2)".into(),
+            ));
+        }
+        let n = input.shape().dim(0);
+        let features = input.shape().volume() / n;
+        self.cache = Some(input.shape().clone());
+        Ok(input.reshape(Shape::matrix(n, features))?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::NoForwardCache { layer: "flatten" })?;
+        Ok(grad_out.reshape(shape.clone())?)
+    }
+
+    fn layer_type(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+/// Reshapes `[batch, features]` rows back into a fixed per-item shape
+/// (the inverse of [`Flatten`], used by auto-encoder decoders).
+#[derive(Debug)]
+pub struct Reshape {
+    item_shape: Vec<usize>,
+    cache: Option<Shape>,
+}
+
+impl Reshape {
+    /// Creates a layer that reshapes each batch item to `item_shape`.
+    pub fn new(item_shape: Vec<usize>) -> Self {
+        Reshape {
+            item_shape,
+            cache: None,
+        }
+    }
+
+    /// Target per-item shape.
+    pub fn item_shape(&self) -> &[usize] {
+        &self.item_shape
+    }
+}
+
+impl Layer for Reshape {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.shape().rank() < 1 {
+            return Err(NnError::InvalidArgument(
+                "reshape requires a batched input".into(),
+            ));
+        }
+        let n = input.shape().dim(0);
+        let mut dims = vec![n];
+        dims.extend_from_slice(&self.item_shape);
+        self.cache = Some(input.shape().clone());
+        Ok(input.reshape(Shape::new(dims))?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::NoForwardCache { layer: "reshape" })?;
+        Ok(grad_out.reshape(shape.clone())?)
+    }
+
+    fn layer_type(&self) -> &'static str {
+        "reshape"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_and_restore() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_fn(Shape::nchw(2, 3, 4, 4), |i| i as f32);
+        let y = f.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 48]);
+        let dx = f.backward(&y).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+        assert_eq!(dx.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn reshape_restores_images() {
+        let mut r = Reshape::new(vec![1, 4, 4]);
+        let x = Tensor::from_fn(Shape::matrix(3, 16), |i| i as f32);
+        let y = r.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape().dims(), &[3, 1, 4, 4]);
+        let dx = r.backward(&y).unwrap();
+        assert_eq!(dx.shape().dims(), &[3, 16]);
+    }
+
+    #[test]
+    fn flatten_rejects_rank1() {
+        let mut f = Flatten::new();
+        assert!(f.forward(&Tensor::zeros(Shape::vector(4)), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut f = Flatten::new();
+        assert!(matches!(
+            f.backward(&Tensor::zeros(Shape::matrix(1, 4))),
+            Err(NnError::NoForwardCache { .. })
+        ));
+        let mut r = Reshape::new(vec![2, 2]);
+        assert!(matches!(
+            r.backward(&Tensor::zeros(Shape::new(vec![1, 2, 2]))),
+            Err(NnError::NoForwardCache { .. })
+        ));
+    }
+}

@@ -1,0 +1,80 @@
+use crate::layer::{Layer, Mode};
+use crate::{NnError, Result};
+use adv_tensor::ops::{upsample2d_nearest, upsample2d_nearest_backward};
+use adv_tensor::Tensor;
+
+/// Nearest-neighbour upsampling by an integer factor (MagNet's MNIST
+/// auto-encoder decoder, paper Table II).
+#[derive(Debug)]
+pub struct Upsample2d {
+    factor: usize,
+    ran_forward: bool,
+}
+
+impl Upsample2d {
+    /// Creates an upsampling layer with the given integer factor.
+    pub fn new(factor: usize) -> Self {
+        Upsample2d {
+            factor,
+            ran_forward: false,
+        }
+    }
+
+    /// The upsampling factor.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+}
+
+impl Layer for Upsample2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let y = upsample2d_nearest(input, self.factor)?;
+        self.ran_forward = true;
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        if !self.ran_forward {
+            return Err(NnError::NoForwardCache {
+                layer: "upsample2d",
+            });
+        }
+        Ok(upsample2d_nearest_backward(grad_out, self.factor)?)
+    }
+
+    fn layer_type(&self) -> &'static str {
+        "upsample2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adv_tensor::Shape;
+
+    #[test]
+    fn doubles_spatial_size() {
+        let mut l = Upsample2d::new(2);
+        let x = Tensor::ones(Shape::nchw(1, 1, 3, 3));
+        let y = l.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 6, 6]);
+    }
+
+    #[test]
+    fn backward_sums_blocks() {
+        let mut l = Upsample2d::new(2);
+        let x = Tensor::ones(Shape::nchw(1, 1, 2, 2));
+        let y = l.forward(&x, Mode::Eval).unwrap();
+        let dx = l.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert!(dx.as_slice().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut l = Upsample2d::new(2);
+        assert!(matches!(
+            l.backward(&Tensor::zeros(Shape::nchw(1, 1, 2, 2))),
+            Err(NnError::NoForwardCache { .. })
+        ));
+    }
+}

@@ -1,0 +1,234 @@
+//! First-order optimizers.
+//!
+//! Optimizers operate on the flat parameter list a [`Sequential`] network
+//! exposes; per-parameter state (momentum / moment estimates) is kept by
+//! index, so a given optimizer instance must stay paired with one network.
+//!
+//! [`Sequential`]: crate::Sequential
+
+use crate::layer::Param;
+use crate::{NnError, Result};
+use adv_tensor::Tensor;
+
+/// A gradient-based parameter update rule.
+pub trait Optimizer {
+    /// Applies one update step to `params` using their accumulated `grad`s,
+    /// then zeroes the gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the parameter count changes between calls.
+    fn step(&mut self, params: &mut [&mut Param]) -> Result<()>;
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate and momentum coefficient
+    /// (`0.0` for plain SGD).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) -> Result<()> {
+        if self.velocity.is_empty() {
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape().clone()))
+                .collect();
+        }
+        if self.velocity.len() != params.len() {
+            return Err(NnError::InvalidArgument(format!(
+                "optimizer saw {} params, previously {}",
+                params.len(),
+                self.velocity.len()
+            )));
+        }
+        for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
+            v.scale_assign(self.momentum);
+            v.add_scaled_assign(&p.grad, 1.0)?;
+            p.value.add_scaled_assign(v, -self.lr)?;
+            p.zero_grad();
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias-corrected moment estimates.
+///
+/// The attack literature's reference implementations (C&W, EAD) optimize
+/// with Adam; the same hyperparameter defaults are used here.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with custom coefficients.
+    pub fn new(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Adam with the standard defaults `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`.
+    pub fn with_defaults(lr: f32) -> Self {
+        Self::new(lr, 0.9, 0.999, 1e-8)
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) -> Result<()> {
+        if self.m.is_empty() {
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape().clone()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        if self.m.len() != params.len() {
+            return Err(NnError::InvalidArgument(format!(
+                "optimizer saw {} params, previously {}",
+                params.len(),
+                self.m.len()
+            )));
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            let g = p.grad.as_slice();
+            let mv = m.as_mut_slice();
+            let vv = v.as_mut_slice();
+            let pv = p.value.as_mut_slice();
+            for i in 0..g.len() {
+                mv[i] = self.beta1 * mv[i] + (1.0 - self.beta1) * g[i];
+                vv[i] = self.beta2 * vv[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let mhat = mv[i] / bc1;
+                let vhat = vv[i] / bc2;
+                pv[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adv_tensor::Shape;
+
+    fn quadratic_grad(p: &Param) -> Tensor {
+        // ∇(x²/2) = x
+        p.value.clone()
+    }
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        let mut p = Param::new(Tensor::full(Shape::vector(1), 10.0));
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..100 {
+            p.grad = quadratic_grad(&p);
+            opt.step(&mut [&mut p]).unwrap();
+        }
+        assert!(p.value.as_slice()[0].abs() < 0.01);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |momentum: f32| {
+            let mut p = Param::new(Tensor::full(Shape::vector(1), 10.0));
+            let mut opt = Sgd::new(0.01, momentum);
+            for _ in 0..50 {
+                p.grad = quadratic_grad(&p);
+                opt.step(&mut [&mut p]).unwrap();
+            }
+            p.value.as_slice()[0].abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        let mut p = Param::new(Tensor::full(Shape::vector(2), 5.0));
+        let mut opt = Adam::with_defaults(0.3);
+        for _ in 0..200 {
+            p.grad = quadratic_grad(&p);
+            opt.step(&mut [&mut p]).unwrap();
+        }
+        assert!(p.value.map(f32::abs).max() < 0.05);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut p = Param::new(Tensor::ones(Shape::vector(3)));
+        p.grad.fill(1.0);
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(&mut [&mut p]).unwrap();
+        assert!(p.grad.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn param_count_change_is_an_error() {
+        let mut a = Param::new(Tensor::ones(Shape::vector(1)));
+        let mut b = Param::new(Tensor::ones(Shape::vector(1)));
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(&mut [&mut a]).unwrap();
+        assert!(opt.step(&mut [&mut a, &mut b]).is_err());
+    }
+
+    #[test]
+    fn learning_rate_is_settable() {
+        let mut opt = Adam::with_defaults(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

@@ -1,0 +1,354 @@
+//! A small self-contained binary codec for trained models.
+//!
+//! The format stores the architecture ([`LayerSpec`] list), the construction
+//! seed, and every parameter tensor, little-endian:
+//!
+//! ```text
+//! magic "ADVNN001" (8 bytes)
+//! seed: u64
+//! spec_count: u32, then per spec: tag u8 + payload
+//! param_count: u32, then per param: rank u32, dims (u64 each), values (f32)
+//! ```
+//!
+//! Models round-trip exactly (bit-for-bit f32), which the evaluation harness
+//! relies on to cache trained classifiers and MagNet auto-encoders between
+//! runs.
+
+use crate::layers::Activation;
+use crate::{LayerSpec, NnError, Result, Sequential};
+use adv_tensor::ops::Conv2dSpec;
+use adv_tensor::{Shape, Tensor};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs;
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"ADVNN001";
+
+fn put_usize(buf: &mut BytesMut, v: usize) {
+    buf.put_u64_le(v as u64);
+}
+
+fn get_usize(buf: &mut Bytes) -> Result<usize> {
+    if buf.remaining() < 8 {
+        return Err(NnError::Serialization("truncated integer".into()));
+    }
+    Ok(buf.get_u64_le() as usize)
+}
+
+fn put_spec(buf: &mut BytesMut, spec: &LayerSpec) {
+    match spec {
+        LayerSpec::Dense { inputs, outputs } => {
+            buf.put_u8(0);
+            put_usize(buf, *inputs);
+            put_usize(buf, *outputs);
+        }
+        LayerSpec::Conv2d(c) => {
+            buf.put_u8(1);
+            put_usize(buf, c.in_channels);
+            put_usize(buf, c.out_channels);
+            put_usize(buf, c.kh);
+            put_usize(buf, c.kw);
+            put_usize(buf, c.stride);
+            put_usize(buf, c.padding);
+        }
+        LayerSpec::Activation(a) => {
+            buf.put_u8(2);
+            buf.put_u8(match a {
+                Activation::Relu => 0,
+                Activation::Sigmoid => 1,
+                Activation::Tanh => 2,
+            });
+        }
+        LayerSpec::MaxPool2d { k } => {
+            buf.put_u8(3);
+            put_usize(buf, *k);
+        }
+        LayerSpec::AvgPool2d { k } => {
+            buf.put_u8(4);
+            put_usize(buf, *k);
+        }
+        LayerSpec::Upsample2d { factor } => {
+            buf.put_u8(5);
+            put_usize(buf, *factor);
+        }
+        LayerSpec::Flatten => buf.put_u8(6),
+        LayerSpec::Reshape { item_shape } => {
+            buf.put_u8(7);
+            put_usize(buf, item_shape.len());
+            for &d in item_shape {
+                put_usize(buf, d);
+            }
+        }
+        LayerSpec::Dropout { p } => {
+            buf.put_u8(8);
+            buf.put_f32_le(*p);
+        }
+    }
+}
+
+fn get_spec(buf: &mut Bytes) -> Result<LayerSpec> {
+    if buf.remaining() < 1 {
+        return Err(NnError::Serialization("truncated layer spec".into()));
+    }
+    Ok(match buf.get_u8() {
+        0 => LayerSpec::Dense {
+            inputs: get_usize(buf)?,
+            outputs: get_usize(buf)?,
+        },
+        1 => LayerSpec::Conv2d(Conv2dSpec {
+            in_channels: get_usize(buf)?,
+            out_channels: get_usize(buf)?,
+            kh: get_usize(buf)?,
+            kw: get_usize(buf)?,
+            stride: get_usize(buf)?,
+            padding: get_usize(buf)?,
+        }),
+        2 => {
+            if buf.remaining() < 1 {
+                return Err(NnError::Serialization("truncated activation".into()));
+            }
+            LayerSpec::Activation(match buf.get_u8() {
+                0 => Activation::Relu,
+                1 => Activation::Sigmoid,
+                2 => Activation::Tanh,
+                t => return Err(NnError::Serialization(format!("unknown activation tag {t}"))),
+            })
+        }
+        3 => LayerSpec::MaxPool2d { k: get_usize(buf)? },
+        4 => LayerSpec::AvgPool2d { k: get_usize(buf)? },
+        5 => LayerSpec::Upsample2d {
+            factor: get_usize(buf)?,
+        },
+        6 => LayerSpec::Flatten,
+        7 => {
+            let n = get_usize(buf)?;
+            if n > 16 {
+                return Err(NnError::Serialization(format!("implausible reshape rank {n}")));
+            }
+            let mut item_shape = Vec::with_capacity(n);
+            for _ in 0..n {
+                item_shape.push(get_usize(buf)?);
+            }
+            LayerSpec::Reshape { item_shape }
+        }
+        8 => {
+            if buf.remaining() < 4 {
+                return Err(NnError::Serialization("truncated dropout".into()));
+            }
+            LayerSpec::Dropout {
+                p: buf.get_f32_le(),
+            }
+        }
+        t => return Err(NnError::Serialization(format!("unknown layer tag {t}"))),
+    })
+}
+
+fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
+    buf.put_u32_le(t.shape().rank() as u32);
+    for &d in t.shape().dims() {
+        put_usize(buf, d);
+    }
+    for &v in t.as_slice() {
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_tensor(buf: &mut Bytes) -> Result<Tensor> {
+    if buf.remaining() < 4 {
+        return Err(NnError::Serialization("truncated tensor header".into()));
+    }
+    let rank = buf.get_u32_le() as usize;
+    if rank > 8 {
+        return Err(NnError::Serialization(format!("implausible tensor rank {rank}")));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(get_usize(buf)?);
+    }
+    let shape = Shape::new(dims);
+    let n = shape.volume();
+    if buf.remaining() < n * 4 {
+        return Err(NnError::Serialization("truncated tensor data".into()));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Tensor::from_vec(data, shape).map_err(NnError::Tensor)
+}
+
+/// Serializes a network (architecture + weights) to bytes.
+pub fn model_to_bytes(net: &Sequential) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(net.seed());
+    buf.put_u32_le(net.specs().len() as u32);
+    for spec in net.specs() {
+        put_spec(&mut buf, spec);
+    }
+    let params = net.params();
+    buf.put_u32_le(params.len() as u32);
+    for p in params {
+        put_tensor(&mut buf, &p.value);
+    }
+    buf.to_vec()
+}
+
+/// Reconstructs a network from bytes produced by [`model_to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`NnError::Serialization`] on truncated or corrupted input, or
+/// when the stored parameter tensors disagree with the architecture.
+pub fn model_from_bytes(data: &[u8]) -> Result<Sequential> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 8 || &buf.split_to(8)[..] != MAGIC {
+        return Err(NnError::Serialization("bad magic".into()));
+    }
+    if buf.remaining() < 12 {
+        return Err(NnError::Serialization("truncated header".into()));
+    }
+    let seed = buf.get_u64_le();
+    let spec_count = buf.get_u32_le() as usize;
+    if spec_count > 10_000 {
+        return Err(NnError::Serialization(format!("implausible layer count {spec_count}")));
+    }
+    let mut specs = Vec::with_capacity(spec_count);
+    for _ in 0..spec_count {
+        specs.push(get_spec(&mut buf)?);
+    }
+    let mut net = Sequential::from_specs(&specs, seed)?;
+    if buf.remaining() < 4 {
+        return Err(NnError::Serialization("truncated parameter count".into()));
+    }
+    let param_count = buf.get_u32_le() as usize;
+    {
+        let mut params = net.params_mut();
+        if params.len() != param_count {
+            return Err(NnError::Serialization(format!(
+                "architecture has {} parameters, file has {param_count}",
+                params.len()
+            )));
+        }
+        for p in params.iter_mut() {
+            let t = get_tensor(&mut buf)?;
+            if t.shape() != p.value.shape() {
+                return Err(NnError::Serialization(format!(
+                    "parameter shape {} does not match architecture {}",
+                    t.shape(),
+                    p.value.shape()
+                )));
+            }
+            p.value = t;
+        }
+    }
+    Ok(net)
+}
+
+/// Writes a network to `path`.
+///
+/// # Errors
+///
+/// Returns I/O errors from the filesystem.
+pub fn save_model(net: &Sequential, path: impl AsRef<Path>) -> Result<()> {
+    if let Some(dir) = path.as_ref().parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, model_to_bytes(net))?;
+    Ok(())
+}
+
+/// Reads a network from `path`.
+///
+/// # Errors
+///
+/// Returns I/O errors and [`NnError::Serialization`] for malformed files.
+pub fn load_model(path: impl AsRef<Path>) -> Result<Sequential> {
+    let data = fs::read(path)?;
+    model_from_bytes(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+
+    fn sample_net() -> Sequential {
+        Sequential::from_specs(
+            &[
+                LayerSpec::Conv2d(Conv2dSpec::same(1, 3, 3)),
+                LayerSpec::Activation(Activation::Sigmoid),
+                LayerSpec::AvgPool2d { k: 2 },
+                LayerSpec::Flatten,
+                LayerSpec::Dense {
+                    inputs: 3 * 2 * 2,
+                    outputs: 4,
+                },
+                LayerSpec::Dropout { p: 0.25 },
+            ],
+            99,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let net = sample_net();
+        let bytes = model_to_bytes(&net);
+        let restored = model_from_bytes(&bytes).unwrap();
+        assert_eq!(restored.specs(), net.specs());
+        assert_eq!(restored.seed(), net.seed());
+        for (a, b) in net.params().iter().zip(restored.params()) {
+            assert_eq!(a.value, b.value);
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let mut net = sample_net();
+        let mut restored = model_from_bytes(&model_to_bytes(&net)).unwrap();
+        let x = Tensor::from_fn(Shape::nchw(2, 1, 4, 4), |i| (i % 13) as f32 * 0.07);
+        let ya = net.forward(&x, Mode::Eval).unwrap();
+        let yb = restored.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(ya, yb);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            model_from_bytes(b"NOTMODEL"),
+            Err(NnError::Serialization(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = model_to_bytes(&sample_net());
+        // Chop the file at several points; every prefix must fail cleanly.
+        for cut in [4usize, 10, 20, bytes.len() / 2, bytes.len() - 3] {
+            assert!(
+                model_from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes unexpectedly parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("adv_nn_serialize_test");
+        let path = dir.join("model.advnn");
+        let net = sample_net();
+        save_model(&net, &path).unwrap();
+        let restored = load_model(&path).unwrap();
+        assert_eq!(restored.specs(), net.specs());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_tag_rejected() {
+        let mut bytes = model_to_bytes(&sample_net());
+        // First spec tag sits right after magic(8) + seed(8) + count(4).
+        bytes[20] = 250;
+        assert!(model_from_bytes(&bytes).is_err());
+    }
+}

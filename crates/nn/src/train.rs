@@ -1,0 +1,504 @@
+//! Minibatch training loop.
+//!
+//! The trainer is deliberately small: shuffle, batch, forward, loss,
+//! backward, optimizer step — with per-epoch statistics returned to the
+//! caller. Everything is seeded, so a `(architecture, data, seed)` triple
+//! always produces the same model.
+
+use crate::loss::{accuracy, softmax_cross_entropy_smoothed, ReconstructionLoss};
+use crate::optim::Optimizer;
+use crate::{Mode, NnError, Result, Sequential};
+use adv_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Hyperparameters of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Seed for shuffling (and noise injection, when enabled).
+    pub seed: u64,
+    /// Label-smoothing ε for classification (0.0 = plain cross-entropy).
+    /// Smoothing caps logit margins, keeping confidence-κ sweeps meaningful.
+    pub label_smoothing: f32,
+    /// When `true`, prints one line per epoch to stderr.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 5,
+            batch_size: 64,
+            seed: 0,
+            label_smoothing: 0.0,
+            verbose: false,
+        }
+    }
+}
+
+/// Statistics of one training epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean minibatch loss.
+    pub loss: f32,
+    /// Training accuracy (classification runs only).
+    pub accuracy: Option<f32>,
+}
+
+/// Gathers rows `indices` of a batched tensor into a new batch.
+///
+/// # Errors
+///
+/// Returns an index error when any index exceeds the batch size.
+pub fn gather0(x: &Tensor, indices: &[usize]) -> Result<Tensor> {
+    if x.shape().rank() == 0 {
+        return Err(NnError::Tensor(adv_tensor::TensorError::RankMismatch {
+            expected: 1,
+            actual: 0,
+        }));
+    }
+    let n = x.shape().dim(0);
+    let item = x.shape().volume() / n.max(1);
+    let mut data = Vec::with_capacity(indices.len() * item);
+    for &i in indices {
+        if i >= n {
+            return Err(NnError::Tensor(adv_tensor::TensorError::IndexOutOfBounds {
+                index: i,
+                bound: n,
+            }));
+        }
+        data.extend_from_slice(&x.as_slice()[i * item..(i + 1) * item]);
+    }
+    let mut dims = vec![indices.len()];
+    dims.extend_from_slice(&x.shape().dims()[1..]);
+    Tensor::from_vec(data, Shape::new(dims)).map_err(NnError::Tensor)
+}
+
+fn check_nonempty(x: &Tensor, cfg: &TrainConfig) -> Result<usize> {
+    if cfg.batch_size == 0 {
+        return Err(NnError::InvalidArgument("batch_size must be > 0".into()));
+    }
+    let n = x.shape().dim(0);
+    if n == 0 {
+        return Err(NnError::InvalidArgument("empty training set".into()));
+    }
+    Ok(n)
+}
+
+/// Trains a classifier with softmax cross-entropy.
+///
+/// # Errors
+///
+/// Returns shape errors from the network, label errors from the loss, and
+/// [`NnError::InvalidArgument`] for degenerate configs.
+pub fn fit_classifier(
+    net: &mut Sequential,
+    opt: &mut dyn Optimizer,
+    x: &Tensor,
+    labels: &[usize],
+    cfg: &TrainConfig,
+) -> Result<Vec<EpochStats>> {
+    let n = check_nonempty(x, cfg)?;
+    if labels.len() != n {
+        return Err(NnError::Tensor(adv_tensor::TensorError::LengthMismatch {
+            expected: n,
+            actual: labels.len(),
+        }));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut history = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0f32;
+        let mut acc_sum = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let xb = gather0(x, chunk)?;
+            let yb: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            let logits = net.forward(&xb, Mode::Train)?;
+            let (loss, grad) =
+                softmax_cross_entropy_smoothed(&logits, &yb, cfg.label_smoothing)?;
+            acc_sum += accuracy(&logits, &yb)?;
+            net.backward(&grad)?;
+            opt.step(&mut net.params_mut())?;
+            loss_sum += loss;
+            batches += 1;
+        }
+        let stats = EpochStats {
+            epoch,
+            loss: loss_sum / batches as f32,
+            accuracy: Some(acc_sum / batches as f32),
+        };
+        if cfg.verbose {
+            eprintln!(
+                "epoch {:>3}: loss {:.4}, acc {:.3}",
+                epoch,
+                stats.loss,
+                stats.accuracy.unwrap_or(0.0)
+            );
+        }
+        history.push(stats);
+    }
+    Ok(history)
+}
+
+/// How auto-encoder training inputs are corrupted.
+///
+/// MagNet trains its auto-encoders to map corrupted inputs back to the clean
+/// image; the corruption distribution determines *which* off-manifold
+/// deviations the trained map removes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Corruption {
+    /// No corruption (a plain auto-encoder).
+    None,
+    /// Pixel-wise Gaussian noise with the given σ — MagNet's original
+    /// scheme; teaches removal of high-frequency deviations.
+    Gaussian(f32),
+    /// Gaussian noise *plus* a smooth low-frequency random field of the
+    /// given σ (a coarse per-channel grid, nearest-upsampled). Teaches the
+    /// auto-encoder to also remove *smooth, spread-out* deviations — the
+    /// signature of L2-based (C&W-like) adversarial perturbations — while
+    /// leaving sparse spikes outside its training distribution.
+    GaussianPlusSmooth {
+        /// σ of the pixel-wise component.
+        gaussian: f32,
+        /// σ of the low-frequency field.
+        smooth: f32,
+    },
+}
+
+fn gaussian_sample(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Adds a smooth per-image random field to an NCHW batch in place.
+fn add_smooth_field(batch: &mut Tensor, std: f32, rng: &mut StdRng) {
+    let dims = batch.shape().dims().to_vec();
+    if dims.len() != 4 {
+        return; // non-image data: skip the spatial component
+    }
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let (gh, gw) = (h.div_ceil(4).max(1), w.div_ceil(4).max(1));
+    let data = batch.as_mut_slice();
+    for b in 0..n {
+        for ch in 0..c {
+            let grid: Vec<f32> = (0..gh * gw).map(|_| std * gaussian_sample(rng)).collect();
+            let plane = &mut data[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+            for y in 0..h {
+                for x in 0..w {
+                    let g = grid[(y * gh / h).min(gh - 1) * gw + (x * gw / w).min(gw - 1)];
+                    let v = &mut plane[y * w + x];
+                    *v = (*v + g).clamp(0.0, 1.0);
+                }
+            }
+        }
+    }
+}
+
+impl Corruption {
+    /// Applies the corruption to a clean batch, producing the training input.
+    fn apply(self, clean: &Tensor, rng: &mut StdRng) -> Tensor {
+        match self {
+            Corruption::None => clean.clone(),
+            Corruption::Gaussian(std) => {
+                let mut noisy = clean.clone();
+                for v in noisy.as_mut_slice() {
+                    *v = (*v + std * gaussian_sample(rng)).clamp(0.0, 1.0);
+                }
+                noisy
+            }
+            Corruption::GaussianPlusSmooth { gaussian, smooth } => {
+                let mut noisy = Corruption::Gaussian(gaussian).apply(clean, rng);
+                add_smooth_field(&mut noisy, smooth, rng);
+                noisy
+            }
+        }
+    }
+}
+
+/// Trains an auto-encoder to reconstruct its (optionally noise-corrupted)
+/// input.
+///
+/// MagNet trains its auto-encoders on inputs corrupted with Gaussian noise of
+/// standard deviation `noise_std` while targeting the *clean* image — this is
+/// what pulls off-manifold points back toward the data manifold. See
+/// [`fit_autoencoder_with`] for richer corruption models.
+///
+/// # Errors
+///
+/// Returns shape errors from the network and
+/// [`NnError::InvalidArgument`] for degenerate configs.
+pub fn fit_autoencoder(
+    net: &mut Sequential,
+    opt: &mut dyn Optimizer,
+    x: &Tensor,
+    loss_kind: ReconstructionLoss,
+    noise_std: f32,
+    cfg: &TrainConfig,
+) -> Result<Vec<EpochStats>> {
+    let corruption = if noise_std > 0.0 {
+        Corruption::Gaussian(noise_std)
+    } else {
+        Corruption::None
+    };
+    fit_autoencoder_with(net, opt, x, loss_kind, corruption, cfg)
+}
+
+/// [`fit_autoencoder`] with an explicit [`Corruption`] model.
+///
+/// # Errors
+///
+/// Returns shape errors from the network and
+/// [`NnError::InvalidArgument`] for degenerate configs.
+pub fn fit_autoencoder_with(
+    net: &mut Sequential,
+    opt: &mut dyn Optimizer,
+    x: &Tensor,
+    loss_kind: ReconstructionLoss,
+    corruption: Corruption,
+    cfg: &TrainConfig,
+) -> Result<Vec<EpochStats>> {
+    let n = check_nonempty(x, cfg)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut history = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let clean = gather0(x, chunk)?;
+            let input = corruption.apply(&clean, &mut rng);
+            let recon = net.forward(&input, Mode::Train)?;
+            let (loss, grad) = loss_kind.compute(&recon, &clean)?;
+            net.backward(&grad)?;
+            opt.step(&mut net.params_mut())?;
+            loss_sum += loss;
+            batches += 1;
+        }
+        let stats = EpochStats {
+            epoch,
+            loss: loss_sum / batches as f32,
+            accuracy: None,
+        };
+        if cfg.verbose {
+            eprintln!("epoch {:>3}: recon loss {:.6}", epoch, stats.loss);
+        }
+        history.push(stats);
+    }
+    Ok(history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Activation;
+    use crate::optim::Adam;
+    use crate::LayerSpec;
+
+    /// Two linearly separable blobs in 2-D.
+    fn blobs(n: usize) -> (Tensor, Vec<usize>) {
+        let mut data = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let cls = i % 2;
+            let (cx, cy) = if cls == 0 { (-1.0, -1.0) } else { (1.0, 1.0) };
+            // Deterministic jitter.
+            let jx = ((i * 37 % 17) as f32 / 17.0 - 0.5) * 0.5;
+            let jy = ((i * 61 % 13) as f32 / 13.0 - 0.5) * 0.5;
+            data.push(cx + jx);
+            data.push(cy + jy);
+            labels.push(cls);
+        }
+        (
+            Tensor::from_vec(data, Shape::matrix(n, 2)).unwrap(),
+            labels,
+        )
+    }
+
+    #[test]
+    fn classifier_learns_separable_blobs() {
+        let (x, y) = blobs(200);
+        let mut net = Sequential::from_specs(
+            &[
+                LayerSpec::Dense {
+                    inputs: 2,
+                    outputs: 8,
+                },
+                LayerSpec::Activation(Activation::Relu),
+                LayerSpec::Dense {
+                    inputs: 8,
+                    outputs: 2,
+                },
+            ],
+            5,
+        )
+        .unwrap();
+        let mut opt = Adam::with_defaults(0.05);
+        let cfg = TrainConfig {
+            epochs: 20,
+            batch_size: 32,
+            seed: 1,
+            label_smoothing: 0.0,
+            verbose: false,
+        };
+        let history = fit_classifier(&mut net, &mut opt, &x, &y, &cfg).unwrap();
+        let last = history.last().unwrap();
+        assert!(last.accuracy.unwrap() > 0.95, "accuracy {:?}", last.accuracy);
+        assert!(last.loss < history[0].loss);
+    }
+
+    #[test]
+    fn autoencoder_reduces_reconstruction_error() {
+        // Identity-learnable toy data.
+        let x = Tensor::from_fn(Shape::matrix(64, 4), |i| ((i * 31) % 10) as f32 / 10.0);
+        let mut net = Sequential::from_specs(
+            &[
+                LayerSpec::Dense {
+                    inputs: 4,
+                    outputs: 6,
+                },
+                LayerSpec::Activation(Activation::Sigmoid),
+                LayerSpec::Dense {
+                    inputs: 6,
+                    outputs: 4,
+                },
+                LayerSpec::Activation(Activation::Sigmoid),
+            ],
+            3,
+        )
+        .unwrap();
+        let mut opt = Adam::with_defaults(0.02);
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            seed: 2,
+            label_smoothing: 0.0,
+            verbose: false,
+        };
+        let history = fit_autoencoder(
+            &mut net,
+            &mut opt,
+            &x,
+            ReconstructionLoss::MeanSquaredError,
+            0.05,
+            &cfg,
+        )
+        .unwrap();
+        assert!(history.last().unwrap().loss < history[0].loss * 0.8);
+    }
+
+    #[test]
+    fn corruption_none_is_identity() {
+        let x = Tensor::from_fn(Shape::nchw(2, 1, 4, 4), |i| (i % 5) as f32 / 5.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(Corruption::None.apply(&x, &mut rng), x);
+    }
+
+    #[test]
+    fn gaussian_corruption_stays_in_box_and_perturbs() {
+        let x = Tensor::full(Shape::nchw(2, 1, 6, 6), 0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let y = Corruption::Gaussian(0.2).apply(&x, &mut rng);
+        assert!(y.min() >= 0.0 && y.max() <= 1.0);
+        assert_ne!(y, x);
+        // Roughly zero-mean noise.
+        assert!((y.mean() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn smooth_corruption_is_spatially_correlated() {
+        // Neighbouring pixels of the smooth field share coarse-grid cells,
+        // so adjacent deltas are more similar than under iid Gaussian noise.
+        let x = Tensor::full(Shape::nchw(1, 1, 16, 16), 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let smooth = Corruption::GaussianPlusSmooth {
+            gaussian: 0.0,
+            smooth: 0.2,
+        }
+        .apply(&x, &mut rng);
+        let delta = smooth.sub(&x).unwrap();
+        let d = delta.as_slice();
+        let mut neighbour_diff = 0.0f32;
+        let mut pair_count = 0;
+        for y in 0..16 {
+            for xx in 0..15 {
+                neighbour_diff += (d[y * 16 + xx] - d[y * 16 + xx + 1]).abs();
+                pair_count += 1;
+            }
+        }
+        let mean_abs: f32 = d.iter().map(|v| v.abs()).sum::<f32>() / 256.0;
+        // For iid noise, E|d_i − d_j| ≈ 1.13 · E|d_i| · √2 ≈ 1.6 · mean_abs;
+        // smooth fields are far below that.
+        let mean_neighbour_diff = neighbour_diff / pair_count as f32;
+        assert!(
+            mean_neighbour_diff < mean_abs,
+            "field not smooth: {mean_neighbour_diff} vs {mean_abs}"
+        );
+    }
+
+    #[test]
+    fn gather0_selects_rows() {
+        let x = Tensor::from_fn(Shape::matrix(4, 2), |i| i as f32);
+        let g = gather0(&x, &[2, 0]).unwrap();
+        assert_eq!(g.as_slice(), &[4.0, 5.0, 0.0, 1.0]);
+        assert!(gather0(&x, &[9]).is_err());
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        let (x, y) = blobs(4);
+        let mut net = Sequential::from_specs(
+            &[LayerSpec::Dense {
+                inputs: 2,
+                outputs: 2,
+            }],
+            0,
+        )
+        .unwrap();
+        let mut opt = Adam::with_defaults(0.01);
+        let bad = TrainConfig {
+            batch_size: 0,
+            ..TrainConfig::default()
+        };
+        assert!(fit_classifier(&mut net, &mut opt, &x, &y, &bad).is_err());
+        let cfg = TrainConfig::default();
+        assert!(fit_classifier(&mut net, &mut opt, &x, &y[..2], &cfg).is_err());
+    }
+
+    #[test]
+    fn training_is_reproducible() {
+        let (x, y) = blobs(50);
+        let run = || {
+            let mut net = Sequential::from_specs(
+                &[LayerSpec::Dense {
+                    inputs: 2,
+                    outputs: 2,
+                }],
+                7,
+            )
+            .unwrap();
+            let mut opt = Adam::with_defaults(0.01);
+            let cfg = TrainConfig {
+                epochs: 3,
+                batch_size: 16,
+                seed: 11,
+                label_smoothing: 0.0,
+                verbose: false,
+            };
+            fit_classifier(&mut net, &mut opt, &x, &y, &cfg).unwrap();
+            net.params()[0].value.clone()
+        };
+        assert_eq!(run(), run());
+    }
+}

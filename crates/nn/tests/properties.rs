@@ -1,0 +1,150 @@
+//! Property-based tests for the network substrate: softmax invariants, loss
+//! sanity, model-serialization round-trips over randomized architectures,
+//! and optimizer convergence on random quadratics.
+
+use adv_nn::loss::{mae, mse, softmax_cross_entropy};
+use adv_nn::Param;
+use adv_nn::optim::{Adam, Optimizer, Sgd};
+use adv_nn::serialize::{model_from_bytes, model_to_bytes};
+use adv_nn::softmax::{softmax_rows, softmax_rows_with_temperature};
+use adv_nn::{Activation, LayerSpec, Mode, Sequential};
+use adv_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn softmax_rows_are_distributions(
+        logits in proptest::collection::vec(-20.0f32..20.0, 12),
+    ) {
+        let t = Tensor::from_vec(logits, Shape::matrix(3, 4)).unwrap();
+        let p = softmax_rows(&t).unwrap();
+        for row in p.as_slice().chunks_exact(4) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_ordering(
+        logits in proptest::collection::vec(-10.0f32..10.0, 5),
+    ) {
+        let t = Tensor::from_vec(logits.clone(), Shape::matrix(1, 5)).unwrap();
+        let p = softmax_rows(&t).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                if logits[i] > logits[j] {
+                    prop_assert!(p.as_slice()[i] >= p.as_slice()[j] - 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn temperature_flattens_distributions(
+        logits in proptest::collection::vec(-5.0f32..5.0, 4),
+        t1 in 1.0f32..5.0,
+        dt in 1.0f32..40.0,
+    ) {
+        let t = Tensor::from_vec(logits, Shape::matrix(1, 4)).unwrap();
+        let sharp = softmax_rows_with_temperature(&t, t1).unwrap();
+        let flat = softmax_rows_with_temperature(&t, t1 + dt).unwrap();
+        // Higher temperature cannot increase the max probability.
+        prop_assert!(flat.max() <= sharp.max() + 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative(
+        logits in proptest::collection::vec(-10.0f32..10.0, 6),
+        label in 0usize..3,
+    ) {
+        let t = Tensor::from_vec(logits, Shape::matrix(2, 3)).unwrap();
+        let (loss, _) = softmax_cross_entropy(&t, &[label, (label + 1) % 3]).unwrap();
+        prop_assert!(loss >= -1e-5);
+    }
+
+    #[test]
+    fn mse_mae_zero_iff_equal(data in proptest::collection::vec(-2.0f32..2.0, 8)) {
+        let t = Tensor::from_vec(data, Shape::matrix(2, 4)).unwrap();
+        let (l2, _) = mse(&t, &t).unwrap();
+        let (l1, _) = mae(&t, &t).unwrap();
+        prop_assert_eq!(l2, 0.0);
+        prop_assert_eq!(l1, 0.0);
+    }
+
+    #[test]
+    fn mse_scales_quadratically(data in proptest::collection::vec(-1.0f32..1.0, 6), k in 1.0f32..3.0) {
+        let zero = Tensor::zeros(Shape::matrix(1, 6));
+        let t = Tensor::from_vec(data, Shape::matrix(1, 6)).unwrap();
+        let (l_base, _) = mse(&t, &zero).unwrap();
+        let (l_scaled, _) = mse(&t.scale(k), &zero).unwrap();
+        prop_assert!((l_scaled - k * k * l_base).abs() < 1e-2 * (1.0 + l_scaled));
+    }
+
+    #[test]
+    fn serialization_roundtrips_random_mlps(
+        hidden in 1usize..12,
+        seed in 0u64..500,
+        act_tag in 0u8..3,
+    ) {
+        let act = match act_tag {
+            0 => Activation::Relu,
+            1 => Activation::Sigmoid,
+            _ => Activation::Tanh,
+        };
+        let specs = vec![
+            LayerSpec::Dense { inputs: 4, outputs: hidden },
+            LayerSpec::Activation(act),
+            LayerSpec::Dense { inputs: hidden, outputs: 3 },
+        ];
+        let mut net = Sequential::from_specs(&specs, seed).unwrap();
+        let mut restored = model_from_bytes(&model_to_bytes(&net)).unwrap();
+        let x = Tensor::from_fn(Shape::matrix(2, 4), |i| (i as f32) * 0.3 - 1.0);
+        let ya = net.forward(&x, Mode::Eval).unwrap();
+        let yb = restored.forward(&x, Mode::Eval).unwrap();
+        prop_assert_eq!(ya, yb);
+    }
+
+    #[test]
+    fn optimizers_descend_random_quadratics(
+        start in proptest::collection::vec(-5.0f32..5.0, 4),
+        use_adam in proptest::bool::ANY,
+    ) {
+        // Minimize ½‖x‖² from a random start; both optimizers must reduce
+        // the norm substantially in 100 steps.
+        let mut p = Param::new(
+            Tensor::from_vec(start.clone(), Shape::vector(4)).unwrap(),
+        );
+        let initial = p.value.map(|v| v * v).sum();
+        let mut sgd = Sgd::new(0.1, 0.5);
+        let mut adam = Adam::with_defaults(0.2);
+        for _ in 0..100 {
+            p.grad = p.value.clone();
+            if use_adam {
+                adam.step(&mut [&mut p]).unwrap();
+            } else {
+                sgd.step(&mut [&mut p]).unwrap();
+            }
+        }
+        let finalv = p.value.map(|v| v * v).sum();
+        prop_assert!(finalv <= initial * 0.05 + 1e-4, "{} -> {}", initial, finalv);
+    }
+
+    #[test]
+    fn forward_is_deterministic_in_eval_mode(
+        seed in 0u64..100,
+        data in proptest::collection::vec(0.0f32..1.0, 8),
+    ) {
+        let specs = vec![
+            LayerSpec::Dense { inputs: 8, outputs: 5 },
+            LayerSpec::Activation(Activation::Tanh),
+            LayerSpec::Dropout { p: 0.5 },
+            LayerSpec::Dense { inputs: 5, outputs: 2 },
+        ];
+        let mut net = Sequential::from_specs(&specs, seed).unwrap();
+        let x = Tensor::from_vec(data, Shape::matrix(1, 8)).unwrap();
+        let a = net.forward(&x, Mode::Eval).unwrap();
+        let b = net.forward(&x, Mode::Eval).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,122 @@
+use std::fmt;
+
+/// Errors produced by tensor construction and tensor operations.
+///
+/// All variants carry enough context to diagnose the failing call without a
+/// debugger; shapes are rendered in `Display`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// buffer length.
+    LengthMismatch {
+        /// Elements expected from the shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must agree in shape do not.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+    },
+    /// An operation required a specific rank (number of dimensions).
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the tensor supplied.
+        actual: usize,
+    },
+    /// Inner dimensions of a matrix product disagree.
+    MatmulDimMismatch {
+        /// Columns of the left matrix.
+        left_cols: usize,
+        /// Rows of the right matrix.
+        right_rows: usize,
+    },
+    /// An index was out of bounds for the tensor.
+    IndexOutOfBounds {
+        /// The offending flat or axis index.
+        index: usize,
+        /// The bound that was exceeded.
+        bound: usize,
+    },
+    /// An operation received a parameter outside its valid domain
+    /// (e.g. zero stride, empty shape where non-empty is required).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::MatmulDimMismatch {
+                left_cols,
+                right_rows,
+            } => write!(
+                f,
+                "matmul inner dimensions disagree: left has {left_cols} columns, right has {right_rows} rows"
+            ),
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for dimension of size {bound}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![3, 2],
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[3, 2]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let err = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 5,
+        };
+        assert_eq!(
+            err.to_string(),
+            "data length 5 does not match shape volume 4"
+        );
+    }
+
+    #[test]
+    fn display_matmul_mismatch() {
+        let err = TensorError::MatmulDimMismatch {
+            left_cols: 3,
+            right_rows: 4,
+        };
+        assert!(err.to_string().contains("3 columns"));
+        assert!(err.to_string().contains("4 rows"));
+    }
+}

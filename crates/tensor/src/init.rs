@@ -1,0 +1,86 @@
+//! Seeded weight initializers.
+//!
+//! All initializers draw from a caller-provided RNG so that training is
+//! reproducible end-to-end from a single `u64` seed.
+
+use crate::{Shape, Tensor};
+use rand::Rng;
+
+/// Uniform values in `[lo, hi)`.
+pub fn uniform(shape: Shape, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    Tensor::from_fn(shape, |_| rng.gen_range(lo..hi))
+}
+
+/// Standard normal values scaled by `std`, generated with Box–Muller.
+pub fn normal(shape: Shape, std: f32, rng: &mut impl Rng) -> Tensor {
+    Tensor::from_fn(shape, |_| {
+        // Box–Muller transform; clamp u1 away from 0 to avoid ln(0).
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    })
+}
+
+/// Glorot/Xavier uniform initialization: `U(±√(6 / (fan_in + fan_out)))`.
+///
+/// Appropriate for sigmoid/tanh layers — the activation MagNet's
+/// auto-encoders use throughout.
+pub fn glorot_uniform(shape: Shape, fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(shape, -limit, limit, rng)
+}
+
+/// He/Kaiming normal initialization: `N(0, √(2 / fan_in))`.
+///
+/// Appropriate for ReLU layers — the victim classifiers.
+pub fn he_normal(shape: Shape, fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    normal(shape, (2.0 / fan_in.max(1) as f32).sqrt(), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = uniform(Shape::vector(1000), -0.5, 0.5, &mut rng);
+        assert!(t.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn normal_has_roughly_correct_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = normal(Shape::vector(20_000), 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn glorot_limit_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small_fan = glorot_uniform(Shape::vector(100), 2, 2, &mut rng);
+        let large_fan = glorot_uniform(Shape::vector(100), 2000, 2000, &mut rng);
+        assert!(small_fan.map(f32::abs).max() > large_fan.map(f32::abs).max());
+    }
+
+    #[test]
+    fn seeded_init_is_reproducible() {
+        let a = glorot_uniform(Shape::vector(64), 8, 8, &mut StdRng::seed_from_u64(3));
+        let b = glorot_uniform(Shape::vector(64), 8, 8, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = he_normal(Shape::vector(10_000), 50, &mut rng);
+        let std = t.map(|v| v * v).mean().sqrt();
+        let expected = (2.0f32 / 50.0).sqrt();
+        assert!((std - expected).abs() < 0.02, "std {std} vs {expected}");
+    }
+}

@@ -1,0 +1,224 @@
+//! Blocked dense matrix multiplication.
+//!
+//! Three entry points cover the products backprop needs without materializing
+//! transposes:
+//!
+//! - [`matmul`]: `C = A·B`
+//! - [`matmul_at_b`]: `C = Aᵀ·B` (weight gradients)
+//! - [`matmul_a_bt`]: `C = A·Bᵀ` (input gradients)
+//!
+//! The kernels are written i-k-j with a fixed block size so the inner loop is
+//! a contiguous axpy the compiler auto-vectorizes.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+const BLOCK: usize = 64;
+
+fn check_rank2(t: &Tensor) -> Result<(usize, usize)> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.shape().rank(),
+        });
+    }
+    Ok((t.shape().dim(0), t.shape().dim(1)))
+}
+
+/// `C = A·B` for rank-2 tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs and
+/// [`TensorError::MatmulDimMismatch`] when `A` has a different number of
+/// columns than `B` has rows.
+///
+/// # Example
+///
+/// ```
+/// use adv_tensor::{ops::matmul, Shape, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::matrix(2, 2))?;
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], Shape::matrix(2, 2))?;
+/// assert_eq!(matmul(&a, &i)?, a);
+/// # Ok::<(), adv_tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check_rank2(a)?;
+    let (kb, n) = check_rank2(b)?;
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: ka,
+            right_rows: kb,
+        });
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut c = vec![0.0f32; m * n];
+    for kk in (0..ka).step_by(BLOCK) {
+        let kend = (kk + BLOCK).min(ka);
+        for i in 0..m {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for k in kk..kend {
+                let aik = av[i * ka + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &bv[k * n..(k + 1) * n];
+                for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                    *cj += aik * bj;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(c, Shape::matrix(m, n))
+}
+
+/// `C = Aᵀ·B` where `A: [k, m]`, `B: [k, n]`, producing `[m, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs and
+/// [`TensorError::MatmulDimMismatch`] when the leading (contraction)
+/// dimensions disagree.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ka, m) = check_rank2(a)?;
+    let (kb, n) = check_rank2(b)?;
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: ka,
+            right_rows: kb,
+        });
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut c = vec![0.0f32; m * n];
+    for k in 0..ka {
+        let arow = &av[k * m..(k + 1) * m];
+        let brow = &bv[k * n..(k + 1) * n];
+        for (i, &aki) in arow.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                *cj += aki * bj;
+            }
+        }
+    }
+    Tensor::from_vec(c, Shape::matrix(m, n))
+}
+
+/// `C = A·Bᵀ` where `A: [m, k]`, `B: [n, k]`, producing `[m, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs and
+/// [`TensorError::MatmulDimMismatch`] when the trailing (contraction)
+/// dimensions disagree.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check_rank2(a)?;
+    let (n, kb) = check_rank2(b)?;
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: ka,
+            right_rows: kb,
+        });
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &av[i * ka..(i + 1) * ka];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (j, cij) in crow.iter_mut().enumerate() {
+            let brow = &bv[j * ka..(j + 1) * ka];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow.iter()) {
+                acc += x * y;
+            }
+            *cij = acc;
+        }
+    }
+    Tensor::from_vec(c, Shape::matrix(m, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], r: usize, c: usize) -> Tensor {
+        Tensor::from_vec(data.to_vec(), Shape::matrix(r, c)).unwrap()
+    }
+
+    #[test]
+    fn matmul_small_known_case() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], 3, 2);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = t(&[1.0, -2.0, 3.5, 0.0], 2, 2);
+        let i = t(&[1.0, 0.0, 0.0, 1.0], 2, 2);
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+        assert_eq!(matmul(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_dims() {
+        let a = t(&[1.0, 2.0], 1, 2);
+        let b = t(&[1.0, 2.0, 3.0], 3, 1);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn at_b_equals_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2);
+        let b = t(&[1.0, 0.0, -1.0, 2.0, 0.5, 1.0], 3, 2);
+        let expected = matmul(&a.transpose().unwrap(), &b).unwrap();
+        assert_eq!(matmul_at_b(&a, &b).unwrap(), expected);
+    }
+
+    #[test]
+    fn a_bt_equals_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = t(&[0.5, -1.0, 2.0, 3.0, 1.0, 0.0], 3, 2);
+        let expected = matmul(&a, &b.transpose().unwrap()).unwrap();
+        assert_eq!(matmul_a_bt(&a, &b).unwrap(), expected);
+    }
+
+    #[test]
+    fn blocked_path_matches_naive_on_larger_matrices() {
+        // Exercise the k-blocking by exceeding BLOCK.
+        let k = 150;
+        let a = Tensor::from_fn(Shape::matrix(3, k), |i| (i % 7) as f32 - 3.0);
+        let b = Tensor::from_fn(Shape::matrix(k, 4), |i| (i % 5) as f32 * 0.5);
+        let c = matmul(&a, &b).unwrap();
+        // Naive reference.
+        for i in 0..3 {
+            for j in 0..4 {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.as_slice()[i * k + kk] * b.as_slice()[kk * 4 + j];
+                }
+                let got = c.as_slice()[i * 4 + j];
+                assert!((got - acc).abs() < 1e-3, "({i},{j}): {got} vs {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_is_validated() {
+        let v = Tensor::zeros(Shape::vector(4));
+        let m = Tensor::zeros(Shape::matrix(2, 2));
+        assert!(matches!(
+            matmul(&v, &m),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,13 @@
+//! Numerical kernels: matrix multiplication, convolution, pooling and
+//! upsampling, each with the backward passes the `adv-nn` layers need.
+
+pub mod conv;
+pub mod matmul;
+pub mod pool;
+
+pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dSpec};
+pub use matmul::{matmul, matmul_at_b, matmul_a_bt};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, upsample2d_nearest,
+    upsample2d_nearest_backward, Pool2dSpec,
+};

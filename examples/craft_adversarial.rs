@@ -1,0 +1,108 @@
+//! Crafts adversarial examples with four different attacks against the same
+//! image and renders the perturbations as ASCII art, illustrating the
+//! L1-vs-L2 geometry the paper is about: EAD's perturbations are sparse and
+//! concentrated, C&W's are dense and spread out.
+//!
+//! ```text
+//! cargo run --release --example craft_adversarial
+//! ```
+
+use magnet_l1::attacks::{
+    Attack, CarliniWagnerL2, CwConfig, DecisionRule, DeepFool, DeepFoolConfig, EadConfig,
+    ElasticNetAttack, Fgsm,
+};
+use magnet_l1::data::synth::mnist_like;
+use magnet_l1::eval::render::ascii_pair;
+use magnet_l1::nn::optim::Adam;
+use magnet_l1::nn::train::{fit_classifier, gather0, TrainConfig};
+use magnet_l1::nn::Sequential;
+use magnet_l1::tensor::norms;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let train = mnist_like(1200, 11);
+    let test = mnist_like(100, 12);
+
+    let specs = magnet_l1::magnet::arch::mnist_classifier(28, 1, 6, 12, 48, 10);
+    let mut classifier = Sequential::from_specs(&specs, 5)?;
+    let mut opt = Adam::with_defaults(1e-3);
+    fit_classifier(
+        &mut classifier,
+        &mut opt,
+        train.images(),
+        train.labels(),
+        &TrainConfig {
+            epochs: 3,
+            batch_size: 32,
+            seed: 3,
+            label_smoothing: 0.0,
+            verbose: false,
+        },
+    )?;
+
+    // Pick the first correctly classified test digit.
+    let preds = classifier.predict(test.images())?;
+    let idx = preds
+        .iter()
+        .zip(test.labels())
+        .position(|(p, l)| p == l)
+        .expect("at least one correct prediction");
+    let x = gather0(test.images(), &[idx])?;
+    let label = vec![test.labels()[idx]];
+
+    let attacks: Vec<(&str, Box<dyn Attack>)> = vec![
+        (
+            "FGSM",
+            Box::new(Fgsm::new(0.15)?),
+        ),
+        (
+            "DeepFool",
+            Box::new(DeepFool::new(DeepFoolConfig::default())?),
+        ),
+        (
+            "C&W L2",
+            Box::new(CarliniWagnerL2::new(CwConfig {
+                kappa: 5.0,
+                iterations: 80,
+                binary_search_steps: 4,
+                initial_c: 0.1,
+                ..CwConfig::default()
+            })?),
+        ),
+        (
+            "EAD (EN, beta=0.1)",
+            Box::new(ElasticNetAttack::new(EadConfig {
+                kappa: 5.0,
+                beta: 0.1,
+                iterations: 80,
+                binary_search_steps: 4,
+                initial_c: 0.1,
+                rule: DecisionRule::ElasticNet,
+                ..EadConfig::default()
+            })?),
+        ),
+    ];
+
+    for (name, attack) in attacks {
+        let outcome = attack.run(&mut classifier, &x, &label)?;
+        if !outcome.success[0] {
+            println!("--- {name}: attack failed ---\n");
+            continue;
+        }
+        let delta = outcome.adversarial.sub(&x)?;
+        let pred = classifier.predict(&outcome.adversarial)?[0];
+        let header = format!(
+            "--- {name}: {} -> {pred} | L0 {} | L1 {:.2} | L2 {:.2} | Linf {:.2} ---",
+            label[0],
+            norms::l0_norm(&delta, 1e-3),
+            outcome.l1[0],
+            outcome.l2[0],
+            outcome.linf[0],
+        );
+        println!("{}", ascii_pair(&x, &outcome.adversarial, &header)?);
+    }
+    println!(
+        "Note the L0 column: EAD perturbs far fewer pixels than C&W at a\n\
+         similar L2 — exactly the sparsity the ISTA shrinkage step induces."
+    );
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! Quickstart: train a small classifier on synthetic MNIST, wrap it in the
+//! default MagNet defense, attack it with EAD, and see who wins.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use magnet_l1::attacks::{Attack, DecisionRule, EadConfig, ElasticNetAttack};
+use magnet_l1::data::synth::mnist_like;
+use magnet_l1::magnet::variants::{
+    assemble_mnist_defense, train_mnist_autoencoders, TrainSpec,
+};
+use magnet_l1::magnet::DefenseScheme;
+use magnet_l1::nn::optim::Adam;
+use magnet_l1::nn::train::{fit_classifier, gather0, TrainConfig};
+use magnet_l1::nn::Sequential;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Data: procedurally generated MNIST-like digits.
+    let train = mnist_like(1500, 1);
+    let test = mnist_like(200, 2);
+    println!("generated {} training digits", train.len());
+
+    // 2. Victim classifier: small CNN, trained for a couple of epochs.
+    let specs = magnet_l1::magnet::arch::mnist_classifier(28, 1, 6, 12, 48, 10);
+    let mut classifier = Sequential::from_specs(&specs, 42)?;
+    let mut opt = Adam::with_defaults(1e-3);
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+        seed: 7,
+        label_smoothing: 0.0,
+        verbose: true,
+    };
+    fit_classifier(&mut classifier, &mut opt, train.images(), train.labels(), &cfg)?;
+
+    // 3. Default MagNet: two auto-encoders, two reconstruction detectors,
+    //    reformer, thresholds calibrated at 2% FPR on held-out data.
+    let spec = TrainSpec {
+        epochs: 8,
+        ..TrainSpec::default()
+    };
+    let aes = train_mnist_autoencoders(1, &spec, train.images())?;
+    let mut defense = assemble_mnist_defense(
+        "default",
+        &aes,
+        &classifier,
+        &[],
+        test.images(),
+        0.02,
+    )?;
+
+    // 4. Attack 16 correctly classified digits with EAD (oblivious setting:
+    //    the attacker only ever sees the undefended classifier).
+    let preds = classifier.predict(test.images())?;
+    let correct: Vec<usize> = preds
+        .iter()
+        .zip(test.labels())
+        .enumerate()
+        .filter(|(_, (p, l))| p == l)
+        .map(|(i, _)| i)
+        .take(16)
+        .collect();
+    let x = gather0(test.images(), &correct)?;
+    let labels: Vec<usize> = correct.iter().map(|&i| test.labels()[i]).collect();
+
+    let attack = ElasticNetAttack::new(EadConfig {
+        kappa: 2.0,
+        beta: 0.1,
+        iterations: 80,
+        binary_search_steps: 3,
+        initial_c: 1.0,
+        learning_rate: 0.05,
+        rule: DecisionRule::ElasticNet,
+        ..EadConfig::default()
+    })?;
+    let outcome = attack.run(&mut classifier, &x, &labels)?;
+    println!(
+        "\nEAD success rate on the undefended classifier: {:.0}%",
+        outcome.success_rate() * 100.0
+    );
+    println!(
+        "mean distortion of successful examples: L1 {:?}, L2 {:?}",
+        outcome.mean_l1_successful(),
+        outcome.mean_l2_successful()
+    );
+
+    // 5. How does MagNet fare against the *successfully crafted* examples?
+    let succeeded: Vec<usize> = outcome
+        .success
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s)
+        .map(|(i, _)| i)
+        .collect();
+    if succeeded.is_empty() {
+        println!("no adversarial examples to evaluate the defense on");
+        return Ok(());
+    }
+    let adv = gather0(&outcome.adversarial, &succeeded)?;
+    let adv_labels: Vec<usize> = succeeded.iter().map(|&i| labels[i]).collect();
+    let accuracy = defense.accuracy(&adv, &adv_labels, DefenseScheme::Full)?;
+    println!(
+        "MagNet classification accuracy on EAD examples: {:.0}% (ASR {:.0}%)",
+        accuracy * 100.0,
+        (1.0 - accuracy) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! # magnet-l1
+//!
+//! A full reproduction of *"On the Limitation of MagNet Defense against
+//! L1-based Adversarial Examples"* (Lu, Chen, Chen & Yu — DSN 2018) in pure
+//! Rust, built from scratch: tensor substrate, neural-network framework with
+//! manual backprop, dataset generators, the MagNet defense, the C&W and EAD
+//! attacks, and an evaluation harness that regenerates every table and
+//! figure of the paper.
+//!
+//! This crate is a facade that re-exports the workspace crates under one
+//! name. For the architecture map, see `DESIGN.md`; for the reproduced
+//! numbers, see `EXPERIMENTS.md`.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use magnet_l1::data::synth::mnist_like;
+//! use magnet_l1::eval::zoo::{Scenario, Zoo};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Train (or load from cache) the victim classifier and default MagNet.
+//! let zoo = Zoo::with_defaults("models")?;
+//! let bundle = zoo.bundle(Scenario::Mnist)?;
+//! println!("test accuracy: {:.2}%", 100.0 * bundle.clean_accuracy);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use adv_attacks as attacks;
+pub use adv_data as data;
+pub use adv_eval as eval;
+pub use adv_magnet as magnet;
+pub use adv_nn as nn;
+pub use adv_tensor as tensor;

@@ -1,0 +1,201 @@
+//! Cross-crate integration tests: the full train → defend → attack →
+//! evaluate pipeline at smoke scale, exercised through the facade crate.
+
+use magnet_l1::attacks::{
+    Attack, CarliniWagnerL2, CwConfig, DecisionRule, EadConfig, ElasticNetAttack,
+};
+use magnet_l1::data::synth::{cifar_like, mnist_like};
+use magnet_l1::eval::config::Scale;
+use magnet_l1::eval::experiment::select_attack_set;
+use magnet_l1::eval::sweep::{AttackKind, SweepRunner};
+use magnet_l1::eval::zoo::{Scenario, Variant, Zoo};
+use magnet_l1::magnet::DefenseScheme;
+use magnet_l1::nn::optim::Adam;
+use magnet_l1::nn::train::{fit_classifier, TrainConfig};
+use magnet_l1::nn::Sequential;
+
+fn temp_zoo(tag: &str) -> Zoo {
+    let dir = std::env::temp_dir().join(format!("magnet_l1_e2e_{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    Zoo::new(dir, Scale::smoke())
+}
+
+#[test]
+fn classifier_learns_synthetic_mnist() {
+    let train = mnist_like(600, 1);
+    let test = mnist_like(150, 2);
+    let specs = magnet_l1::magnet::arch::mnist_classifier(28, 1, 6, 12, 48, 10);
+    let mut net = Sequential::from_specs(&specs, 3).unwrap();
+    let mut opt = Adam::with_defaults(1e-3);
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+        seed: 4,
+        label_smoothing: 0.0,
+        verbose: false,
+    };
+    fit_classifier(&mut net, &mut opt, train.images(), train.labels(), &cfg).unwrap();
+    let acc = magnet_l1::eval::zoo::classifier_accuracy(&mut net, &test).unwrap();
+    assert!(acc > 0.8, "test accuracy {acc} too low");
+}
+
+#[test]
+fn classifier_learns_synthetic_cifar() {
+    let train = cifar_like(1200, 1);
+    let test = cifar_like(150, 2);
+    let specs = magnet_l1::magnet::arch::cifar_classifier(16, 3, 6, 12, 48, 10);
+    let mut net = Sequential::from_specs(&specs, 3).unwrap();
+    let mut opt = Adam::with_defaults(1e-3);
+    let cfg = TrainConfig {
+        epochs: 5,
+        batch_size: 32,
+        seed: 4,
+        label_smoothing: 0.0,
+        verbose: false,
+    };
+    fit_classifier(&mut net, &mut opt, train.images(), train.labels(), &cfg).unwrap();
+    let acc = magnet_l1::eval::zoo::classifier_accuracy(&mut net, &test).unwrap();
+    assert!(acc > 0.8, "test accuracy {acc} too low");
+}
+
+#[test]
+fn attacks_fool_a_trained_cnn() {
+    // The zoo's smoke classifier reaches high accuracy; both C&W and EAD
+    // must fool it given an adequate c.
+    let zoo = temp_zoo("attacks_fool");
+    let mut clf = zoo.classifier(Scenario::Cifar).unwrap();
+    let data = zoo.data(Scenario::Cifar);
+    let set = select_attack_set(&mut clf, &data.test, 6, 9).unwrap();
+
+    let ead = ElasticNetAttack::new(EadConfig {
+        kappa: 0.0,
+        beta: 0.01,
+        iterations: 40,
+        binary_search_steps: 3,
+        initial_c: 0.5,
+        rule: DecisionRule::ElasticNet,
+        ..EadConfig::default()
+    })
+    .unwrap();
+    let outcome = ead.run(&mut clf, &set.images, &set.labels).unwrap();
+    assert!(
+        outcome.success_rate() > 0.5,
+        "EAD ASR {} too low",
+        outcome.success_rate()
+    );
+    // Successful examples really are misclassified.
+    for (i, &ok) in outcome.success.iter().enumerate() {
+        if ok {
+            let img = outcome.adversarial.index_axis0(i).unwrap();
+            let img = img
+                .clone()
+                .into_reshaped(magnet_l1::tensor::Shape::new(
+                    std::iter::once(1)
+                        .chain(img.shape().dims().iter().copied())
+                        .collect(),
+                ))
+                .unwrap();
+            let pred = clf.predict(&img).unwrap()[0];
+            assert_ne!(pred, set.labels[i], "example {i} not actually adversarial");
+        }
+    }
+
+    let cw = CarliniWagnerL2::new(CwConfig {
+        kappa: 0.0,
+        iterations: 40,
+        binary_search_steps: 3,
+        initial_c: 0.5,
+        ..CwConfig::default()
+    })
+    .unwrap();
+    let outcome = cw.run(&mut clf, &set.images, &set.labels).unwrap();
+    assert!(
+        outcome.success_rate() > 0.5,
+        "C&W ASR {} too low",
+        outcome.success_rate()
+    );
+    std::fs::remove_dir_all(zoo.dir()).ok();
+}
+
+#[test]
+fn adversarial_examples_stay_in_image_box() {
+    let zoo = temp_zoo("box");
+    let mut clf = zoo.classifier(Scenario::Cifar).unwrap();
+    let data = zoo.data(Scenario::Cifar);
+    let set = select_attack_set(&mut clf, &data.test, 4, 2).unwrap();
+    for kind in [
+        AttackKind::Cw,
+        AttackKind::Ead {
+            rule: DecisionRule::L1,
+            beta: 0.05,
+        },
+    ] {
+        let attack = kind.build(5.0, zoo.scale()).unwrap();
+        let outcome = attack.run(&mut clf, &set.images, &set.labels).unwrap();
+        assert!(outcome.adversarial.min() >= 0.0, "{} below box", kind.label());
+        assert!(outcome.adversarial.max() <= 1.0, "{} above box", kind.label());
+    }
+    std::fs::remove_dir_all(zoo.dir()).ok();
+}
+
+#[test]
+fn full_oblivious_pipeline_runs_and_is_cached() {
+    let zoo = temp_zoo("pipeline");
+    let mut runner = SweepRunner::new(&zoo, Scenario::Cifar).unwrap();
+    let mut defense = zoo.defense(Scenario::Cifar, Variant::Default).unwrap();
+    let kind = AttackKind::Ead {
+        rule: DecisionRule::ElasticNet,
+        beta: 0.1,
+    };
+    let e1 = runner.evaluate(&kind, 0.0, &mut defense).unwrap();
+    let e2 = runner.evaluate(&kind, 0.0, &mut defense).unwrap();
+    assert_eq!(e1.undefended_asr, e2.undefended_asr);
+    assert!((0.0..=1.0).contains(&e1.accuracy_for(DefenseScheme::Full)));
+    // The cache directory now holds exactly one attack file.
+    let files = std::fs::read_dir(zoo.dir().join("attacks")).unwrap().count();
+    assert_eq!(files, 1);
+    std::fs::remove_dir_all(zoo.dir()).ok();
+}
+
+#[test]
+fn reproducibility_across_identical_zoos() {
+    let dir = std::env::temp_dir().join("magnet_l1_e2e_repro");
+    std::fs::remove_dir_all(&dir).ok();
+    let run = || {
+        // Reuse the same dir: the second run loads the cached models, which
+        // must not change the outcome relative to fresh training.
+        let zoo = Zoo::new(&dir, Scale::smoke());
+        let mut runner = SweepRunner::new(&zoo, Scenario::Cifar).unwrap();
+        let kind = AttackKind::Cw;
+        let outcome = runner.outcome(&kind, 0.0).unwrap();
+        (outcome.success.clone(), outcome.l2.clone())
+    };
+    let (s1, d1) = run();
+    let (s2, d2) = run();
+    assert_eq!(s1, s2);
+    assert_eq!(d1, d2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn defense_scheme_ordering_is_sane() {
+    // On *clean* data the undefended scheme is at least as accurate as the
+    // full scheme (detectors can only wrongly reject clean inputs).
+    let zoo = temp_zoo("ordering");
+    let mut defense = zoo.defense(Scenario::Cifar, Variant::Default).unwrap();
+    let data = zoo.data(Scenario::Cifar);
+    let x = magnet_l1::nn::train::gather0(
+        data.test.images(),
+        &(0..40).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let labels = &data.test.labels()[..40];
+    let none = defense.accuracy(&x, labels, DefenseScheme::None).unwrap();
+    let full = defense.accuracy(&x, labels, DefenseScheme::Full).unwrap();
+    // `accuracy` counts detections as "defended", so on clean data Full can
+    // only exceed None via detections — both must stay in range and None
+    // must be high for a trained classifier.
+    assert!(none > 0.3, "clean accuracy {none} too low");
+    assert!((0.0..=1.0).contains(&full));
+    std::fs::remove_dir_all(zoo.dir()).ok();
+}
