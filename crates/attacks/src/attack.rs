@@ -124,8 +124,7 @@ mod tests {
         adv.as_mut_slice()[0] = 3.0;
         adv.as_mut_slice()[1] = 4.0; // example 0: L2 = 5, L1 = 7
         adv.as_mut_slice()[4] = 1.0; // example 2: L1 = L2 = 1
-        let outcome =
-            AttackOutcome::from_images(&orig, adv, vec![true, false, true]).unwrap();
+        let outcome = AttackOutcome::from_images(&orig, adv, vec![true, false, true]).unwrap();
         assert!((outcome.success_rate() - 2.0 / 3.0).abs() < 1e-6);
         assert_eq!(outcome.mean_l1_successful(), Some(4.0));
         assert_eq!(outcome.mean_l2_successful(), Some(3.0));

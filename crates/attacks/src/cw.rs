@@ -168,11 +168,7 @@ impl CarliniWagnerL2 {
                         ever_success[i] = true;
                         let xi = &x.as_slice()[i * item..(i + 1) * item];
                         let oi = &x0.as_slice()[i * item..(i + 1) * item];
-                        let l2sq: f32 = xi
-                            .iter()
-                            .zip(oi)
-                            .map(|(&a, &b)| (a - b) * (a - b))
-                            .sum();
+                        let l2sq: f32 = xi.iter().zip(oi).map(|(&a, &b)| (a - b) * (a - b)).sum();
                         if l2sq < best_l2sq[i] {
                             best_l2sq[i] = l2sq;
                             for (j, &val) in xi.iter().enumerate() {

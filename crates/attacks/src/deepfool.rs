@@ -139,11 +139,8 @@ impl Attack for DeepFool {
                     }
                     let f_j = z[i * k + j] - z[i * k + t0];
                     let g_j = &grads[j].as_slice()[i * item..(i + 1) * item];
-                    let w_norm_sq: f32 = g_j
-                        .iter()
-                        .zip(g_t0)
-                        .map(|(&a, &b)| (a - b) * (a - b))
-                        .sum();
+                    let w_norm_sq: f32 =
+                        g_j.iter().zip(g_t0).map(|(&a, &b)| (a - b) * (a - b)).sum();
                     if w_norm_sq < 1e-12 {
                         continue;
                     }
@@ -155,13 +152,9 @@ impl Attack for DeepFool {
                 let Some((_, l)) = best else { continue };
                 let f_l = z[i * k + l] - z[i * k + t0];
                 let g_l = &grads[l].as_slice()[i * item..(i + 1) * item];
-                let w_norm_sq: f32 = g_l
-                    .iter()
-                    .zip(g_t0)
-                    .map(|(&a, &b)| (a - b) * (a - b))
-                    .sum();
-                let scale = (f_l.abs() + 1e-4) / w_norm_sq.max(1e-12)
-                    * (1.0 + self.config.overshoot);
+                let w_norm_sq: f32 = g_l.iter().zip(g_t0).map(|(&a, &b)| (a - b) * (a - b)).sum();
+                let scale =
+                    (f_l.abs() + 1e-4) / w_norm_sq.max(1e-12) * (1.0 + self.config.overshoot);
                 let xi = &mut xm.as_mut_slice()[i * item..(i + 1) * item];
                 for (p, (&a, &b)) in xi.iter_mut().zip(g_l.iter().zip(g_t0)) {
                     *p = (*p + scale * (a - b)).clamp(0.0, 1.0);

@@ -272,8 +272,7 @@ impl ElasticNetAttack {
                 grad.add_scaled_assign(x0, -2.0)?;
 
                 // Proximal step with square-root decaying step size.
-                let lr = cfg.learning_rate
-                    * (1.0 - k as f32 / (cfg.iterations + 1) as f32).sqrt();
+                let lr = cfg.learning_rate * (1.0 - k as f32 / (cfg.iterations + 1) as f32).sqrt();
                 let mut z = point.clone();
                 z.add_scaled_assign(&grad, -lr)?;
                 let mut x_new = vec![0.0f32; z.len()];

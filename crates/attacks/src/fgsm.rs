@@ -147,9 +147,7 @@ impl Attack for IterativeFgsm {
             let grad = loss_input_gradient(model, &x, labels)?;
             x = x.zip_map(&grad, |xi, gi| xi + self.alpha * gi.signum())?;
             // Project to the ε-ball and the image box.
-            x = x.zip_map(x0, |xi, oi| {
-                xi.clamp(oi - self.epsilon, oi + self.epsilon)
-            })?;
+            x = x.zip_map(x0, |xi, oi| xi.clamp(oi - self.epsilon, oi + self.epsilon))?;
             x = x.clamp(0.0, 1.0);
         }
         let success = check_success(model, &x, labels)?;

@@ -71,17 +71,16 @@ pub fn untargeted_hinge(
     let mut grad = vec![0.0f32; n * k];
     for (i, &t0) in labels.iter().enumerate() {
         let row = &z[i * k..(i + 1) * k];
-        let (runner_up, best_other) = row
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != t0)
-            .fold((t0, f32::NEG_INFINITY), |(bj, bv), (j, &v)| {
+        let (runner_up, best_other) = row.iter().enumerate().filter(|&(j, _)| j != t0).fold(
+            (t0, f32::NEG_INFINITY),
+            |(bj, bv), (j, &v)| {
                 if v > bv {
                     (j, v)
                 } else {
                     (bj, bv)
                 }
-            });
+            },
+        );
         let raw = row[t0] - best_other;
         let f = raw.max(-kappa);
         values.push(f);
@@ -140,17 +139,16 @@ pub fn targeted_hinge(
     let mut grad = vec![0.0f32; n * k];
     for (i, &t) in targets.iter().enumerate() {
         let row = &z[i * k..(i + 1) * k];
-        let (runner_up, best_other) = row
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != t)
-            .fold((t, f32::NEG_INFINITY), |(bj, bv), (j, &v)| {
+        let (runner_up, best_other) = row.iter().enumerate().filter(|&(j, _)| j != t).fold(
+            (t, f32::NEG_INFINITY),
+            |(bj, bv), (j, &v)| {
                 if v > bv {
                     (j, v)
                 } else {
                     (bj, bv)
                 }
-            });
+            },
+        );
         let raw = best_other - row[t];
         let f = raw.max(-kappa);
         values.push(f);

@@ -72,7 +72,11 @@ fn ead_fools_the_cnn_and_examples_verify() {
     })
     .unwrap();
     let outcome = attack.run(&mut net, &x, &labels).unwrap();
-    assert!(outcome.success_rate() > 0.6, "ASR {}", outcome.success_rate());
+    assert!(
+        outcome.success_rate() > 0.6,
+        "ASR {}",
+        outcome.success_rate()
+    );
     let preds = net.predict(&outcome.adversarial).unwrap();
     for (i, &ok) in outcome.success.iter().enumerate() {
         if ok {
@@ -159,7 +163,11 @@ fn deepfool_finds_small_perturbations() {
     // DeepFool aims for minimal perturbations: distortions stay moderate.
     for (i, &ok) in o.success.iter().enumerate() {
         if ok && o.l2[i] > 0.0 {
-            assert!(o.l2[i] < 10.0, "example {i} L2 {} implausibly large", o.l2[i]);
+            assert!(
+                o.l2[i] < 10.0,
+                "example {i} L2 {} implausibly large",
+                o.l2[i]
+            );
         }
     }
 }
@@ -186,6 +194,9 @@ fn confidence_increases_distortion_on_cnn() {
     let (_, d3) = run(3.0);
     assert!(asr0 > 0.5);
     if let (Some(a), Some(b)) = (d0, d3) {
-        assert!(b >= a * 0.8, "κ=3 distortion {b} unexpectedly below κ=0 {a}");
+        assert!(
+            b >= a * 0.8,
+            "κ=3 distortion {b} unexpectedly below κ=0 {a}"
+        );
     }
 }

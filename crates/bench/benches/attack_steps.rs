@@ -2,10 +2,10 @@
 //! relative cost of EAD's ISTA machinery vs C&W's tanh-space Adam, plus the
 //! batching ablation DESIGN.md calls out (batched vs per-example execution).
 
-use adv_bench::{image_batch, labels, trained_classifier};
 use adv_attacks::{
     Attack, CarliniWagnerL2, CwConfig, DecisionRule, EadConfig, ElasticNetAttack, Fgsm,
 };
+use adv_bench::{image_batch, labels, trained_classifier};
 use adv_nn::train::gather0;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;

@@ -3,10 +3,10 @@
 //! detect-reform-classify path.
 
 use adv_bench::{image_batch, trained_autoencoders, trained_classifier};
+use adv_magnet::DefenseScheme;
 use adv_magnet::{
     Detector, JsdDetector, MagnetDefense, ReconstructionDetector, ReconstructionNorm,
 };
-use adv_magnet::DefenseScheme;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -18,15 +18,15 @@ fn bench_detectors(c: &mut Criterion) {
     let mut g = c.benchmark_group("detector_scoring_b16");
     g.sample_size(20);
     g.bench_function("recon_l1", |bench| {
-        let mut det = ReconstructionDetector::new(aes.ae_two.clone(), ReconstructionNorm::L1);
+        let det = ReconstructionDetector::new(aes.ae_two.clone(), ReconstructionNorm::L1);
         bench.iter(|| det.scores(black_box(&x)).unwrap())
     });
     g.bench_function("recon_l2", |bench| {
-        let mut det = ReconstructionDetector::new(aes.ae_one.clone(), ReconstructionNorm::L2);
+        let det = ReconstructionDetector::new(aes.ae_one.clone(), ReconstructionNorm::L2);
         bench.iter(|| det.scores(black_box(&x)).unwrap())
     });
     g.bench_function("jsd_t40", |bench| {
-        let mut det = JsdDetector::new(aes.ae_one.clone(), clf.clone(), 40.0).unwrap();
+        let det = JsdDetector::new(aes.ae_one.clone(), clf.clone(), 40.0).unwrap();
         bench.iter(|| det.scores(black_box(&x)).unwrap())
     });
     g.finish();
@@ -73,5 +73,10 @@ fn bench_full_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_detectors, bench_calibration, bench_full_pipeline);
+criterion_group!(
+    benches,
+    bench_detectors,
+    bench_calibration,
+    bench_full_pipeline
+);
 criterion_main!(benches);

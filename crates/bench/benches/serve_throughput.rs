@@ -1,0 +1,107 @@
+//! Serial vs batched-server throughput of the full defense pipeline.
+//!
+//! The serial baseline classifies one sample per `classify` call — the
+//! pattern every evaluation binary used before `adv-serve`. The server
+//! variants push the same 32-sample corpus through a one-worker
+//! `ServeEngine` at `max_batch` ∈ {1, 8, 32}, so any speedup comes from
+//! batching plus the engine's fused pipeline (shared sub-computations run
+//! once per batch), not extra parallelism.
+//!
+//! The fixture mirrors the paper's D+JSD MNIST assembly — two
+//! reconstruction detectors, two JSD detectors at `T ∈ {10, 40}`, reformer
+//! sharing detector 1's auto-encoder — because that is the deployment shape
+//! the fused pass deduplicates.
+
+use adv_bench::{image_batch, trained_autoencoders, trained_classifier};
+use adv_magnet::{
+    DefenseScheme, Detector, JsdDetector, MagnetDefense, ReconstructionDetector, ReconstructionNorm,
+};
+use adv_serve::{ServeConfig, ServeEngine};
+use adv_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const CORPUS: usize = 32;
+
+fn calibrated_defense() -> Arc<MagnetDefense> {
+    let aes = trained_autoencoders();
+    let clf = trained_classifier();
+    let detectors: Vec<Box<dyn Detector>> = vec![
+        Box::new(ReconstructionDetector::new(
+            aes.ae_one.clone(),
+            ReconstructionNorm::L2,
+        )),
+        Box::new(ReconstructionDetector::new(
+            aes.ae_two.clone(),
+            ReconstructionNorm::L1,
+        )),
+        Box::new(JsdDetector::new(aes.ae_one.clone(), clf.clone(), 10.0).unwrap()),
+        Box::new(JsdDetector::new(aes.ae_one.clone(), clf.clone(), 40.0).unwrap()),
+    ];
+    let mut defense = MagnetDefense::new("serve-bench-d-jsd", detectors, aes.ae_one.clone(), clf);
+    defense
+        .calibrate_detectors(&image_batch(64, 1, 28), 0.02)
+        .unwrap();
+    Arc::new(defense)
+}
+
+fn corpus_items() -> Vec<Tensor> {
+    let x = image_batch(CORPUS, 1, 28);
+    (0..CORPUS).map(|i| x.index_axis0(i).unwrap()).collect()
+}
+
+fn server(defense: Arc<MagnetDefense>, max_batch: usize) -> ServeEngine {
+    ServeEngine::start(
+        defense,
+        ServeConfig {
+            max_batch,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 2 * CORPUS,
+            workers: 1,
+            scheme: DefenseScheme::Full,
+        },
+    )
+    .unwrap()
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let defense = calibrated_defense();
+    let items = corpus_items();
+
+    let mut g = c.benchmark_group("serve_throughput_32_samples");
+    g.sample_size(10);
+
+    g.bench_function("serial_per_sample", |bench| {
+        let singles: Vec<Tensor> = items
+            .iter()
+            .map(|t| Tensor::stack(std::slice::from_ref(t)).unwrap())
+            .collect();
+        bench.iter(|| {
+            for x in &singles {
+                black_box(defense.classify(black_box(x), DefenseScheme::Full).unwrap());
+            }
+        })
+    });
+
+    for max_batch in [1usize, 8, 32] {
+        let engine = server(defense.clone(), max_batch);
+        g.bench_function(format!("server_b{max_batch}"), |bench| {
+            bench.iter(|| {
+                let pending: Vec<_> = items
+                    .iter()
+                    .map(|t| engine.submit(t.clone()).unwrap())
+                    .collect();
+                for p in pending {
+                    black_box(p.wait().unwrap());
+                }
+            })
+        });
+        engine.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

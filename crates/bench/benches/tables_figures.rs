@@ -3,8 +3,8 @@
 //! run them through a calibrated MagNet) — the unit of work every table row
 //! and figure point costs.
 
-use adv_bench::{image_batch, labels, trained_autoencoders, trained_classifier};
 use adv_attacks::{Attack, DecisionRule, EadConfig, ElasticNetAttack};
+use adv_bench::{image_batch, labels, trained_autoencoders, trained_classifier};
 use adv_magnet::{MagnetDefense, ReconstructionDetector, ReconstructionNorm};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;

@@ -27,10 +27,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kappa = 10.0 * zoo.scale().kappa_unit_mnist;
     let mut rows = Vec::new();
     for (label, fista, iters, bs) in [
-        ("ISTA", false, zoo.scale().attack_iterations, zoo.scale().binary_search_steps),
-        ("FISTA", true, zoo.scale().attack_iterations, zoo.scale().binary_search_steps),
+        (
+            "ISTA",
+            false,
+            zoo.scale().attack_iterations,
+            zoo.scale().binary_search_steps,
+        ),
+        (
+            "FISTA",
+            true,
+            zoo.scale().attack_iterations,
+            zoo.scale().binary_search_steps,
+        ),
         ("ISTA, 1 bs step", false, zoo.scale().attack_iterations, 1),
-        ("ISTA, half iters", false, zoo.scale().attack_iterations / 2, zoo.scale().binary_search_steps),
+        (
+            "ISTA, half iters",
+            false,
+            zoo.scale().attack_iterations / 2,
+            zoo.scale().binary_search_steps,
+        ),
     ] {
         let attack = ElasticNetAttack::new(EadConfig {
             kappa,
@@ -58,7 +73,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         text_table(
-            &["variant", "iters x bs", "ASR %", "mean L1", "mean L2", "wall"],
+            &[
+                "variant",
+                "iters x bs",
+                "ASR %",
+                "mean L1",
+                "mean L2",
+                "wall"
+            ],
             &rows
         )
     );

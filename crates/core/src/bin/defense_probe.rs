@@ -23,14 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for &kappa in &kappas {
                 let outcome = runner.outcome(&kind, kappa)?;
                 let labels = runner.attack_set().labels.clone();
-                let eval = adv_eval::experiment::evaluate_defense(
-                    &mut defense,
-                    &outcome,
-                    &labels,
-                )?;
-                let detect_rate = if let Some((adv, _)) =
-                    successful_examples(&outcome, &labels)?
-                {
+                let eval = adv_eval::experiment::evaluate_defense(&mut defense, &outcome, &labels)?;
+                let detect_rate = if let Some((adv, _)) = successful_examples(&outcome, &labels)? {
                     let flags = defense.detect(&adv)?;
                     flags.iter().filter(|&&f| f).count() as f32 / flags.len() as f32
                 } else {

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Scenario::Mnist => Variant::DefaultJsd,
             Scenario::Cifar => Variant::Default,
         };
-        let mut defense = zoo.defense(scenario, variant)?;
+        let defense = zoo.defense(scenario, variant)?;
         let labels = runner.attack_set().labels.clone();
 
         for kind in [

@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let classifier = zoo.classifier(scenario)?;
         let data = zoo.data(scenario);
-        let valid = gather0(data.valid.images(), &(0..data.valid.len()).collect::<Vec<_>>())?;
+        let valid = gather0(
+            data.valid.images(),
+            &(0..data.valid.len()).collect::<Vec<_>>(),
+        )?;
 
         // Build each detector fresh so we can inspect raw scores.
         let mut detectors: Vec<Box<dyn Detector>> = match scenario {
@@ -74,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     &classifier,
                     &[],
                     &valid,
-                    match scenario { Scenario::Mnist => zoo.scale().fpr_mnist, Scenario::Cifar => zoo.scale().fpr_cifar },
+                    match scenario {
+                        Scenario::Mnist => zoo.scale().fpr_mnist,
+                        Scenario::Cifar => zoo.scale().fpr_cifar,
+                    },
                 )?;
                 vec![
                     Box::new(ReconstructionDetector::new(
@@ -85,8 +91,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         aes.ae_two.clone(),
                         ReconstructionNorm::L1,
                     )),
-                    Box::new(JsdDetector::new(aes.ae_one.clone(), classifier.clone(), 10.0)?),
-                    Box::new(JsdDetector::new(aes.ae_one.clone(), classifier.clone(), 40.0)?),
+                    Box::new(JsdDetector::new(
+                        aes.ae_one.clone(),
+                        classifier.clone(),
+                        10.0,
+                    )?),
+                    Box::new(JsdDetector::new(
+                        aes.ae_one.clone(),
+                        classifier.clone(),
+                        40.0,
+                    )?),
                 ]
             }
             Scenario::Cifar => {
@@ -100,22 +114,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     &classifier,
                     &[10.0, 40.0],
                     &valid,
-                    match scenario { Scenario::Mnist => zoo.scale().fpr_mnist, Scenario::Cifar => zoo.scale().fpr_cifar },
+                    match scenario {
+                        Scenario::Mnist => zoo.scale().fpr_mnist,
+                        Scenario::Cifar => zoo.scale().fpr_cifar,
+                    },
                 )?;
                 vec![
-                    Box::new(ReconstructionDetector::new(ae.clone(), ReconstructionNorm::L1)),
-                    Box::new(ReconstructionDetector::new(ae.clone(), ReconstructionNorm::L2)),
+                    Box::new(ReconstructionDetector::new(
+                        ae.clone(),
+                        ReconstructionNorm::L1,
+                    )),
+                    Box::new(ReconstructionDetector::new(
+                        ae.clone(),
+                        ReconstructionNorm::L2,
+                    )),
                     Box::new(JsdDetector::new(ae.clone(), classifier.clone(), 10.0)?),
                     Box::new(JsdDetector::new(ae.clone(), classifier.clone(), 40.0)?),
                 ]
             }
         };
         for det in detectors.iter_mut() {
-            let threshold = det.calibrate(&valid, match scenario { Scenario::Mnist => zoo.scale().fpr_mnist, Scenario::Cifar => zoo.scale().fpr_cifar })?;
+            let threshold = det.calibrate(
+                &valid,
+                match scenario {
+                    Scenario::Mnist => zoo.scale().fpr_mnist,
+                    Scenario::Cifar => zoo.scale().fpr_cifar,
+                },
+            )?;
             let clean_scores = det.scores(&valid)?;
             let cw_scores = det.scores(&cw_adv)?;
             let ead_scores = det.scores(&ead_adv)?;
-            summarize(&det.name(), &clean_scores, threshold, &cw_scores, &ead_scores);
+            summarize(
+                &det.name(),
+                &clean_scores,
+                threshold,
+                &cw_scores,
+                &ead_scores,
+            );
         }
         let _ = Variant::Default;
     }

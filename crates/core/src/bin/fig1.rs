@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Scenario::Cifar => 20.0,
         };
         let mut runner = SweepRunner::new(&zoo, scenario)?;
-        let mut defense = zoo.defense(scenario, Variant::Default)?;
+        let defense = zoo.defense(scenario, Variant::Default)?;
 
         for kind in [
             AttackKind::Cw,

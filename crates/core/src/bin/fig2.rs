@@ -20,11 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &["panel", "curve", "kappa", "accuracy"],
         &panels_to_csv_rows(&panels),
     )?;
-    let svgs = adv_eval::plot::write_panels_svg(
-        &panels,
-        format!("{}/svg", args.out_dir),
-        "fig2",
-    )?;
+    let svgs = adv_eval::plot::write_panels_svg(&panels, format!("{}/svg", args.out_dir), "fig2")?;
     println!("SVG panels written: {svgs:?} under {}/svg/", args.out_dir);
     Ok(())
 }

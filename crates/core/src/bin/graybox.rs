@@ -34,8 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Gray-box target: classifier composed with the *actual* reformer.
         let reformer = match scenario {
             Scenario::Mnist => {
-                zoo.mnist_autoencoders(zoo.scale().default_filters, adv_nn::loss::ReconstructionLoss::MeanSquaredError)?
-                    .ae_one
+                zoo.mnist_autoencoders(
+                    zoo.scale().default_filters,
+                    adv_nn::loss::ReconstructionLoss::MeanSquaredError,
+                )?
+                .ae_one
             }
             Scenario::Cifar => zoo.cifar_autoencoder(
                 zoo.scale().default_filters,

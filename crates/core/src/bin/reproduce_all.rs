@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_total = Instant::now();
     let headers = ["panel", "curve", "kappa", "accuracy"];
 
-    println!("Reproducing all tables and figures at scale {:?}\n", args.scale);
+    println!(
+        "Reproducing all tables and figures at scale {:?}\n",
+        args.scale
+    );
 
     // --- Architecture tables (II, V) -------------------------------------
     let arch = arch_tables(args.scale.robust_filters);
@@ -71,8 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     r.beta.map(|b| b.to_string()).unwrap_or_else(|| "NA".into()),
                     r.kappa.to_string(),
                     format!("{:.4}", r.asr),
-                    r.l1.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into()),
-                    r.l2.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into()),
+                    r.l1.map(|v| format!("{v:.4}"))
+                        .unwrap_or_else(|| "-".into()),
+                    r.l2.map(|v| format!("{v:.4}"))
+                        .unwrap_or_else(|| "-".into()),
                 ]
             })
             .collect();
@@ -81,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &["attack", "beta", "kappa", "asr", "mean_l1", "mean_l2"],
             &csv,
         )?;
-        println!("[table1 {} done in {:.1?}]\n", scenario.name(), t0.elapsed());
+        println!(
+            "[table1 {} done in {:.1?}]\n",
+            scenario.name(),
+            t0.elapsed()
+        );
     }
 
     // --- Tables IV / VII ----------------------------------------------------
@@ -102,7 +111,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 row
             })
             .collect();
-        write_csv(format!("{out}/{name}_{}.csv", scenario.name()), &hdr_refs, &csv)?;
+        write_csv(
+            format!("{out}/{name}_{}.csv", scenario.name()),
+            &hdr_refs,
+            &csv,
+        )?;
         println!("[{name} done in {:.1?}]\n", t0.elapsed());
     }
 
@@ -126,7 +139,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Figures 4 / 5 --------------------------------------------------------
     for (scenario, name) in [(Scenario::Mnist, "fig4"), (Scenario::Cifar, "fig5")] {
         let t0 = Instant::now();
-        println!("=== {} (C&W scheme ablation, {}) ===", name, scenario.name());
+        println!(
+            "=== {} (C&W scheme ablation, {}) ===",
+            name,
+            scenario.name()
+        );
         let panels = scheme_ablation(&zoo, scenario)?;
         for p in &panels {
             println!("{}", format_panel(p));

@@ -23,8 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     r.beta.map(|b| b.to_string()).unwrap_or_else(|| "NA".into()),
                     r.kappa.to_string(),
                     format!("{:.4}", r.asr),
-                    r.l1.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into()),
-                    r.l2.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into()),
+                    r.l1.map(|v| format!("{v:.4}"))
+                        .unwrap_or_else(|| "-".into()),
+                    r.l2.map(|v| format!("{v:.4}"))
+                        .unwrap_or_else(|| "-".into()),
                 ]
             })
             .collect();

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let t0 = Instant::now();
         let _defense = zoo.defense(scenario, Variant::Default)?;
-        println!("{}: default defense in {:.1?}", scenario.name(), t0.elapsed());
+        println!(
+            "{}: default defense in {:.1?}",
+            scenario.name(),
+            t0.elapsed()
+        );
 
         let t0 = Instant::now();
         let mut runner = SweepRunner::new(&zoo, scenario)?;

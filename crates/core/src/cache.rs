@@ -152,8 +152,7 @@ mod tests {
         let orig = Tensor::from_fn(Shape::nchw(3, 1, 2, 2), |i| (i % 7) as f32 / 7.0);
         let mut adv = orig.clone();
         adv.as_mut_slice()[0] += 0.5;
-        let outcome =
-            AttackOutcome::from_images(&orig, adv, vec![true, false, true]).unwrap();
+        let outcome = AttackOutcome::from_images(&orig, adv, vec![true, false, true]).unwrap();
         (orig, outcome)
     }
 
@@ -206,12 +205,16 @@ mod tests {
     fn slug_is_filesystem_safe() {
         assert_eq!(slug("C&W(L2, kappa=15)"), "c_w_l2__kappa_15_");
         assert_eq!(slug("EAD(EN, beta=0.01)"), "ead_en__beta_0.01_");
-        assert!(slug("a/b\\c:d").chars().all(|c| c != '/' && c != '\\' && c != ':'));
+        assert!(slug("a/b\\c:d")
+            .chars()
+            .all(|c| c != '/' && c != '\\' && c != ':'));
     }
 
     #[test]
     fn cache_path_encodes_parameters() {
-        let p = attack_cache_path("/tmp/x", "mnist", "EAD(EN)", 32, 60, 4, 0.1, 0.02, 2018, 0xDEAD);
+        let p = attack_cache_path(
+            "/tmp/x", "mnist", "EAD(EN)", 32, 60, 4, 0.1, 0.02, 2018, 0xDEAD,
+        );
         let s = p.to_string_lossy();
         assert!(s.contains("mnist"));
         assert!(s.contains("n32"));

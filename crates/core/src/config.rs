@@ -229,10 +229,7 @@ impl CliArgs {
         let mut out_dir = "results".to_string();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
-            let mut next = |flag: &str| {
-                it.next()
-                    .ok_or_else(|| format!("{flag} requires a value"))
-            };
+            let mut next = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
             match arg.as_str() {
                 "--scale" => {
                     let name = next("--scale")?;
@@ -240,9 +237,7 @@ impl CliArgs {
                         .ok_or_else(|| format!("unknown scale '{name}' (smoke|quick|paper)"))?;
                 }
                 "--n" => {
-                    scale.attack_count = next("--n")?
-                        .parse()
-                        .map_err(|e| format!("--n: {e}"))?;
+                    scale.attack_count = next("--n")?.parse().map_err(|e| format!("--n: {e}"))?;
                 }
                 "--iters" => {
                     scale.attack_iterations = next("--iters")?

@@ -205,7 +205,7 @@ pub fn flatten_batch(x: &Tensor) -> Result<Tensor> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adv_attacks::{Fgsm};
+    use adv_attacks::Fgsm;
     use adv_data::synth::mnist_like;
     use adv_nn::LayerSpec;
 
@@ -244,12 +244,8 @@ mod tests {
     #[test]
     fn successful_subset_extraction() {
         let images = Tensor::from_fn(Shape::matrix(3, 4), |i| i as f32);
-        let outcome = AttackOutcome::from_images(
-            &images,
-            images.clone(),
-            vec![true, false, true],
-        )
-        .unwrap();
+        let outcome =
+            AttackOutcome::from_images(&images, images.clone(), vec![true, false, true]).unwrap();
         let (sub, lbls) = successful_examples(&outcome, &[7, 8, 9]).unwrap().unwrap();
         assert_eq!(sub.shape().dims(), &[2, 4]);
         assert_eq!(lbls, vec![7, 9]);

@@ -82,11 +82,7 @@ pub fn scheme_ablation(zoo: &Zoo, scenario: Scenario) -> Result<Vec<Panel>> {
 /// # Errors
 ///
 /// Propagates model, attack and defense errors.
-pub fn scheme_ablation_grid(
-    zoo: &Zoo,
-    scenario: Scenario,
-    variant: Variant,
-) -> Result<Vec<Panel>> {
+pub fn scheme_ablation_grid(zoo: &Zoo, scenario: Scenario, variant: Variant) -> Result<Vec<Panel>> {
     let kappas = kappas_for(zoo, scenario);
     let mut runner = SweepRunner::new(zoo, scenario)?;
     let mut defense = zoo.defense(scenario, variant)?;

@@ -1,11 +1,11 @@
-//! A small scoped-thread parallel map built on crossbeam.
+//! A small scoped-thread parallel map built on `std::thread::scope`.
 //!
 //! The κ sweeps are embarrassingly parallel across attack configurations —
 //! each worker needs only a clone of the (cheaply cloneable) classifier.
 //! On a single-core host this degrades gracefully to sequential execution;
 //! on multi-core machines it cuts sweep wall-clock near-linearly.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Applies `f` to every item, using up to `workers` OS threads, and returns
 /// results in input order. `workers == 1` (or one item) short-circuits to a
@@ -13,8 +13,8 @@ use parking_lot::Mutex;
 ///
 /// # Panics
 ///
-/// Propagates panics from `f` (the panicking worker's panic payload is
-/// re-raised after all threads join).
+/// Propagates panics from `f` (a panicking worker poisons the shared state
+/// and the panic is re-raised after all threads join).
 pub fn par_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -28,23 +28,22 @@ where
 
     let n = items.len();
     let work: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
-    let results: Mutex<Vec<Option<R>>> =
-        Mutex::new((0..n).map(|_| None).collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let job = work.lock().pop();
+            scope.spawn(|| loop {
+                let job = work.lock().expect("worker panicked").pop();
                 let Some((idx, item)) = job else { break };
                 let out = f(item);
-                results.lock()[idx] = Some(out);
+                results.lock().expect("worker panicked")[idx] = Some(out);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     results
         .into_inner()
+        .expect("worker panicked")
         .into_iter()
         .map(|r| r.expect("every index was processed"))
         .collect()

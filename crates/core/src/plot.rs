@@ -151,7 +151,9 @@ pub fn panel_to_svg(panel: &Panel) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Writes every panel of a figure as `<stem>_<index>.svg` under `dir`.
@@ -159,7 +161,11 @@ fn escape(s: &str) -> String {
 /// # Errors
 ///
 /// Returns filesystem errors.
-pub fn write_panels_svg(panels: &[Panel], dir: impl AsRef<Path>, stem: &str) -> Result<Vec<String>> {
+pub fn write_panels_svg(
+    panels: &[Panel],
+    dir: impl AsRef<Path>,
+    stem: &str,
+) -> Result<Vec<String>> {
     std::fs::create_dir_all(dir.as_ref())?;
     let mut written = Vec::with_capacity(panels.len());
     for (i, panel) in panels.iter().enumerate() {
@@ -183,17 +189,35 @@ mod tests {
                 Curve {
                     label: "C&W L2 attack".into(),
                     points: vec![
-                        CurvePoint { kappa: 0.0, accuracy: 0.97 },
-                        CurvePoint { kappa: 20.0, accuracy: 0.9 },
-                        CurvePoint { kappa: 40.0, accuracy: 0.7 },
+                        CurvePoint {
+                            kappa: 0.0,
+                            accuracy: 0.97,
+                        },
+                        CurvePoint {
+                            kappa: 20.0,
+                            accuracy: 0.9,
+                        },
+                        CurvePoint {
+                            kappa: 40.0,
+                            accuracy: 0.7,
+                        },
                     ],
                 },
                 Curve {
                     label: "EAD-EN beta=0.1".into(),
                     points: vec![
-                        CurvePoint { kappa: 0.0, accuracy: 0.95 },
-                        CurvePoint { kappa: 20.0, accuracy: 0.6 },
-                        CurvePoint { kappa: 40.0, accuracy: 0.75 },
+                        CurvePoint {
+                            kappa: 0.0,
+                            accuracy: 0.95,
+                        },
+                        CurvePoint {
+                            kappa: 20.0,
+                            accuracy: 0.6,
+                        },
+                        CurvePoint {
+                            kappa: 40.0,
+                            accuracy: 0.75,
+                        },
                     ],
                 },
             ],
@@ -231,8 +255,7 @@ mod tests {
     fn writes_one_file_per_panel() {
         let dir = std::env::temp_dir().join("adv_eval_plot_test");
         std::fs::remove_dir_all(&dir).ok();
-        let names =
-            write_panels_svg(&[sample_panel(), sample_panel()], &dir, "fig2").unwrap();
+        let names = write_panels_svg(&[sample_panel(), sample_panel()], &dir, "fig2").unwrap();
         assert_eq!(names, vec!["fig2_a.svg", "fig2_b.svg"]);
         assert!(dir.join("fig2_a.svg").exists());
         std::fs::remove_dir_all(&dir).ok();

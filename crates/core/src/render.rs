@@ -148,11 +148,7 @@ mod tests {
 
     #[test]
     fn ascii_uses_darker_glyphs_for_brighter_pixels() {
-        let img = Tensor::from_vec(
-            vec![0.0, 1.0, 0.5, 0.0],
-            Shape::nchw(1, 1, 2, 2),
-        )
-        .unwrap();
+        let img = Tensor::from_vec(vec![0.0, 1.0, 0.5, 0.0], Shape::nchw(1, 1, 2, 2)).unwrap();
         let art = ascii_art(&img).unwrap();
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines[0].chars().next(), Some(' '));

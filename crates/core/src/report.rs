@@ -43,11 +43,7 @@ pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// # Errors
 ///
 /// Returns filesystem errors.
-pub fn write_csv(
-    path: impl AsRef<Path>,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> Result<()> {
+pub fn write_csv(path: impl AsRef<Path>, headers: &[&str], rows: &[Vec<String>]) -> Result<()> {
     let path = path.as_ref();
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
@@ -110,12 +106,7 @@ mod tests {
         let dir = std::env::temp_dir().join("adv_eval_report_test");
         std::fs::remove_dir_all(&dir).ok();
         let path = dir.join("t.csv");
-        write_csv(
-            &path,
-            &["a", "b"],
-            &[vec!["x,y".into(), "plain".into()]],
-        )
-        .unwrap();
+        write_csv(&path, &["a", "b"], &[vec!["x,y".into(), "plain".into()]]).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains("\"x,y\""));
         assert!(content.contains("plain"));

@@ -354,10 +354,7 @@ mod tests {
 
     #[test]
     fn grid_members_have_distinct_labels() {
-        let mut labels: Vec<String> = AttackKind::ead_grid()
-            .iter()
-            .map(|k| k.label())
-            .collect();
+        let mut labels: Vec<String> = AttackKind::ead_grid().iter().map(|k| k.label()).collect();
         labels.push(AttackKind::Cw.label());
         let before = labels.len();
         labels.sort();
@@ -373,7 +370,9 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let zoo = Zoo::new(&dir, Scale::smoke());
         let mut runner = SweepRunner::new(&zoo, Scenario::Mnist).unwrap();
-        let mut defense = zoo.defense(Scenario::Mnist, crate::zoo::Variant::Default).unwrap();
+        let mut defense = zoo
+            .defense(Scenario::Mnist, crate::zoo::Variant::Default)
+            .unwrap();
 
         let kind = AttackKind::Ead {
             rule: DecisionRule::ElasticNet,
@@ -386,9 +385,7 @@ mod tests {
         let eval2 = runner.evaluate(&kind, 0.0, &mut defense).unwrap();
         assert_eq!(eval.undefended_asr, eval2.undefended_asr);
 
-        let curves = runner
-            .scheme_curves(&kind, &[0.0], &mut defense)
-            .unwrap();
+        let curves = runner.scheme_curves(&kind, &[0.0], &mut defense).unwrap();
         assert_eq!(curves.len(), 4);
         std::fs::remove_dir_all(&dir).ok();
     }

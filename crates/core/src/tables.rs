@@ -86,7 +86,9 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
         .map(|r| {
             vec![
                 r.attack.clone(),
-                r.beta.map(|b| format!("{b}")).unwrap_or_else(|| "NA".into()),
+                r.beta
+                    .map(|b| format!("{b}"))
+                    .unwrap_or_else(|| "NA".into()),
                 format!("{}", r.kappa),
                 pct(r.asr),
                 opt3(r.l1),
@@ -94,7 +96,10 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
             ]
         })
         .collect();
-    crate::report::text_table(&["Attack method", "beta", "kappa", "ASR %", "L1", "L2"], &body)
+    crate::report::text_table(
+        &["Attack method", "beta", "kappa", "ASR %", "L1", "L2"],
+        &body,
+    )
 }
 
 /// One row of Tables III / VI.
@@ -135,13 +140,7 @@ pub fn accuracy_table(zoo: &Zoo, scenario: Scenario) -> Result<Vec<AccuracyRow>>
 pub fn format_accuracy_table(rows: &[AccuracyRow]) -> String {
     let body: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![
-                r.variant.label().to_string(),
-                pct(r.without),
-                pct(r.with),
-            ]
-        })
+        .map(|r| vec![r.variant.label().to_string(), pct(r.without), pct(r.with)])
         .collect();
     crate::report::text_table(&["Variant", "Without MagNet %", "With MagNet %"], &body)
 }

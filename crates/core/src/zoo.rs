@@ -225,7 +225,12 @@ impl Zoo {
         Ok(net)
     }
 
-    fn train_spec(&self, scenario: Scenario, filters: usize, loss: ReconstructionLoss) -> TrainSpec {
+    fn train_spec(
+        &self,
+        scenario: Scenario,
+        filters: usize,
+        loss: ReconstructionLoss,
+    ) -> TrainSpec {
         TrainSpec {
             filters,
             loss,
@@ -244,7 +249,13 @@ impl Zoo {
         }
     }
 
-    fn ae_path(&self, scenario: Scenario, which: &str, filters: usize, loss: ReconstructionLoss) -> PathBuf {
+    fn ae_path(
+        &self,
+        scenario: Scenario,
+        which: &str,
+        filters: usize,
+        loss: ReconstructionLoss,
+    ) -> PathBuf {
         let s = &self.scale;
         let loss_tag = match loss {
             ReconstructionLoss::MeanSquaredError => "mse",
@@ -279,8 +290,11 @@ impl Zoo {
             });
         }
         let data = self.data(Scenario::Mnist);
-        let aes =
-            train_mnist_autoencoders(1, &self.train_spec(Scenario::Mnist, filters, loss), data.train.images())?;
+        let aes = train_mnist_autoencoders(
+            1,
+            &self.train_spec(Scenario::Mnist, filters, loss),
+            data.train.images(),
+        )?;
         save_model(aes.ae_one.network(), &p1)?;
         save_model(aes.ae_two.network(), &p2)?;
         Ok(aes)
@@ -301,8 +315,11 @@ impl Zoo {
             return Ok(Autoencoder::from_network(load_model(&p)?, loss, 0.1));
         }
         let data = self.data(Scenario::Cifar);
-        let ae =
-            train_cifar_autoencoder(3, &self.train_spec(Scenario::Cifar, filters, loss), data.train.images())?;
+        let ae = train_cifar_autoencoder(
+            3,
+            &self.train_spec(Scenario::Cifar, filters, loss),
+            data.train.images(),
+        )?;
         save_model(ae.network(), &p)?;
         Ok(ae)
     }
@@ -310,11 +327,31 @@ impl Zoo {
     fn variant_params(&self, variant: Variant) -> (usize, ReconstructionLoss, bool) {
         // (filters, loss, with_jsd_on_mnist)
         match variant {
-            Variant::Default => (self.scale.default_filters, ReconstructionLoss::MeanSquaredError, false),
-            Variant::DefaultJsd => (self.scale.default_filters, ReconstructionLoss::MeanSquaredError, true),
-            Variant::Robust => (self.scale.robust_filters, ReconstructionLoss::MeanSquaredError, false),
-            Variant::RobustJsd => (self.scale.robust_filters, ReconstructionLoss::MeanSquaredError, true),
-            Variant::MaeDefault => (self.scale.default_filters, ReconstructionLoss::MeanAbsoluteError, false),
+            Variant::Default => (
+                self.scale.default_filters,
+                ReconstructionLoss::MeanSquaredError,
+                false,
+            ),
+            Variant::DefaultJsd => (
+                self.scale.default_filters,
+                ReconstructionLoss::MeanSquaredError,
+                true,
+            ),
+            Variant::Robust => (
+                self.scale.robust_filters,
+                ReconstructionLoss::MeanSquaredError,
+                false,
+            ),
+            Variant::RobustJsd => (
+                self.scale.robust_filters,
+                ReconstructionLoss::MeanSquaredError,
+                true,
+            ),
+            Variant::MaeDefault => (
+                self.scale.default_filters,
+                ReconstructionLoss::MeanAbsoluteError,
+                false,
+            ),
         }
     }
 
@@ -377,8 +414,7 @@ impl Zoo {
     pub fn bundle(&self, scenario: Scenario) -> Result<Bundle> {
         let mut classifier = self.classifier(scenario)?;
         let data = self.data(scenario);
-        let clean_accuracy =
-            classifier_accuracy(&mut classifier, &data.test)?;
+        let clean_accuracy = classifier_accuracy(&mut classifier, &data.test)?;
         Ok(Bundle {
             classifier,
             data,

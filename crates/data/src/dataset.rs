@@ -112,10 +112,9 @@ impl Dataset {
         let mut labels = Vec::with_capacity(indices.len());
         for &i in indices {
             if i >= n {
-                return Err(DataError::Tensor(adv_tensor::TensorError::IndexOutOfBounds {
-                    index: i,
-                    bound: n,
-                }));
+                return Err(DataError::Tensor(
+                    adv_tensor::TensorError::IndexOutOfBounds { index: i, bound: n },
+                ));
             }
             data.extend_from_slice(&self.images.as_slice()[i * item..(i + 1) * item]);
             labels.push(self.labels[i]);
@@ -203,7 +202,10 @@ mod tests {
         let sub = ds.subset(&[8, 0, 4]).unwrap();
         assert_eq!(sub.len(), 3);
         assert_eq!(sub.labels(), &[8 % 3, 0, 4 % 3]);
-        assert_eq!(sub.image(0).unwrap().as_slice(), ds.image(8).unwrap().as_slice());
+        assert_eq!(
+            sub.image(0).unwrap().as_slice(),
+            ds.image(8).unwrap().as_slice()
+        );
     }
 
     #[test]

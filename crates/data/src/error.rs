@@ -59,7 +59,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(DataError::Format("x".into()).to_string().contains("malformed"));
+        assert!(DataError::Format("x".into())
+            .to_string()
+            .contains("malformed"));
         assert!(DataError::InvalidArgument("y".into())
             .to_string()
             .contains("invalid"));

@@ -47,9 +47,9 @@ fn signature(class: usize) -> ClassSignature {
         ([0.45, 0.6, 0.35], [0.1, 0.05, 0.0], [0.85, 0.65, 0.3], 0),   // cat: grass + tawny disc
         ([0.4, 0.55, 0.3], [0.15, 0.1, 0.05], [0.55, 0.4, 0.25], 1),   // deer: forest + brown box
         ([0.75, 0.7, 0.6], [-0.1, -0.1, -0.05], [0.3, 0.25, 0.2], 0),  // dog: indoor + dark disc
-        ([0.3, 0.5, 0.25], [0.05, 0.15, 0.05], [0.25, 0.7, 0.3], 2),   // frog: pond + green triangle
-        ([0.35, 0.45, 0.7], [0.0, 0.1, 0.2], [0.9, 0.9, 0.95], 3),     // boat: sea + white h-stripes
-        ([0.5, 0.45, 0.4], [0.1, 0.1, 0.1], [0.9, 0.75, 0.2], 4),      // truck: road + yellow v-stripes
+        ([0.3, 0.5, 0.25], [0.05, 0.15, 0.05], [0.25, 0.7, 0.3], 2), // frog: pond + green triangle
+        ([0.35, 0.45, 0.7], [0.0, 0.1, 0.2], [0.9, 0.9, 0.95], 3),   // boat: sea + white h-stripes
+        ([0.5, 0.45, 0.4], [0.1, 0.1, 0.1], [0.9, 0.75, 0.2], 4), // truck: road + yellow v-stripes
         ([0.65, 0.55, 0.75], [-0.15, 0.0, -0.1], [0.2, 0.3, 0.55], 1), // extra vehicle: dusk + blue box
     ];
     let (bg, bg_grad, fg, shape) = SIGS[class];
@@ -152,11 +152,8 @@ pub fn cifar_like(n: usize, seed: u64) -> Dataset {
         labels.push(class);
         render_scene(class, &mut rng, &mut data[i * item..(i + 1) * item]);
     }
-    let images = Tensor::from_vec(
-        data,
-        Shape::nchw(n, CIFAR_CHANNELS, CIFAR_SIZE, CIFAR_SIZE),
-    )
-    .expect("generator shape is consistent by construction");
+    let images = Tensor::from_vec(data, Shape::nchw(n, CIFAR_CHANNELS, CIFAR_SIZE, CIFAR_SIZE))
+        .expect("generator shape is consistent by construction");
     Dataset::new(images, labels, CIFAR_CLASSES).expect("labels are in range by construction")
 }
 
@@ -205,7 +202,10 @@ mod tests {
         };
         let a = mean_color(0);
         let b = mean_color(6);
-        assert!((a - b).abs() > 0.02, "classes 0 and 6 too similar: {a} vs {b}");
+        assert!(
+            (a - b).abs() > 0.02,
+            "classes 0 and 6 too similar: {a} vs {b}"
+        );
     }
 
     #[test]

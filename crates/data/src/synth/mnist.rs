@@ -55,9 +55,7 @@ fn glyph(digit: usize) -> Vec<Polyline> {
             (0.6, 0.85),
             (0.28, 0.84),
         ]],
-        4 => vec![
-            vec![(0.62, 0.88), (0.62, 0.1), (0.2, 0.62), (0.82, 0.62)],
-        ],
+        4 => vec![vec![(0.62, 0.88), (0.62, 0.1), (0.2, 0.62), (0.82, 0.62)]],
         5 => vec![vec![
             (0.72, 0.14),
             (0.3, 0.14),

@@ -2,7 +2,7 @@ use crate::Result;
 use adv_nn::loss::ReconstructionLoss;
 use adv_nn::optim::Adam;
 use adv_nn::train::{fit_autoencoder_with, Corruption, TrainConfig};
-use adv_nn::{LayerSpec, Mode, Sequential};
+use adv_nn::{LayerSpec, Sequential};
 use adv_tensor::Tensor;
 
 /// A defensive auto-encoder: the building block of both MagNet stages.
@@ -106,18 +106,27 @@ impl Autoencoder {
             label_smoothing: 0.0,
             verbose: false,
         };
-        let history =
-            fit_autoencoder_with(&mut self.net, &mut opt, images, self.loss, self.corruption, &cfg)?;
+        let history = fit_autoencoder_with(
+            &mut self.net,
+            &mut opt,
+            images,
+            self.loss,
+            self.corruption,
+            &cfg,
+        )?;
         Ok(history.last().map(|s| s.loss).unwrap_or(f32::NAN))
     }
 
     /// Reconstructs a batch: `AE(x)`.
     ///
+    /// Runs through the cache-free inference path, so concurrent callers can
+    /// share one auto-encoder behind an `Arc`.
+    ///
     /// # Errors
     ///
     /// Returns shape errors when `x` does not match the architecture.
-    pub fn reconstruct(&mut self, x: &Tensor) -> Result<Tensor> {
-        Ok(self.net.forward(x, Mode::Eval)?)
+    pub fn reconstruct(&self, x: &Tensor) -> Result<Tensor> {
+        Ok(self.net.infer(x)?)
     }
 
     /// Per-item Lᵖ reconstruction error of a batch (`p` = 1 or 2).
@@ -125,8 +134,18 @@ impl Autoencoder {
     /// # Errors
     ///
     /// Returns shape errors from the forward pass.
-    pub fn reconstruction_errors(&mut self, x: &Tensor, p: u8) -> Result<Vec<f32>> {
+    pub fn reconstruction_errors(&self, x: &Tensor, p: u8) -> Result<Vec<f32>> {
         let recon = self.reconstruct(x)?;
+        Ok(Self::errors_against(x, &recon, p))
+    }
+
+    /// Per-item Lᵖ error between a batch and an already-computed
+    /// reconstruction of it (`p` = 1 or 2).
+    ///
+    /// Lets a fused pipeline reuse one `AE(x)` pass across several detectors
+    /// without re-running the network; `reconstruction_errors` is exactly
+    /// `errors_against(x, &self.reconstruct(x)?, p)`.
+    pub fn errors_against(x: &Tensor, recon: &Tensor, p: u8) -> Vec<f32> {
         let n = x.shape().dim(0);
         let item = x.shape().volume() / n.max(1);
         let xs = x.as_slice();
@@ -146,7 +165,7 @@ impl Autoencoder {
             };
             out.push(err);
         }
-        Ok(out)
+        out
     }
 }
 
@@ -176,23 +195,15 @@ mod tests {
         )
         .unwrap();
         let images = toy_images(32);
-        let before: f32 = ae
-            .reconstruction_errors(&images, 2)
-            .unwrap()
-            .iter()
-            .sum();
+        let before: f32 = ae.reconstruction_errors(&images, 2).unwrap().iter().sum();
         ae.train(&images, 20, 8, 0.01, 2).unwrap();
-        let after: f32 = ae
-            .reconstruction_errors(&images, 2)
-            .unwrap()
-            .iter()
-            .sum();
+        let after: f32 = ae.reconstruction_errors(&images, 2).unwrap().iter().sum();
         assert!(after < before, "recon error {after} not below {before}");
     }
 
     #[test]
     fn reconstruction_shape_matches_input() {
-        let mut ae = Autoencoder::new(
+        let ae = Autoencoder::new(
             &mnist_ae_two(1, 3),
             ReconstructionLoss::MeanSquaredError,
             0.0,
@@ -207,7 +218,7 @@ mod tests {
     #[test]
     fn l1_and_l2_errors_ordered() {
         // ‖v‖₂ ≤ ‖v‖₁ per item.
-        let mut ae = Autoencoder::new(
+        let ae = Autoencoder::new(
             &mnist_ae_two(1, 3),
             ReconstructionLoss::MeanSquaredError,
             0.0,

@@ -1,8 +1,10 @@
 use crate::autoencoder::Autoencoder;
 use crate::detector::Detector;
+use crate::fused::InferenceCache;
 use crate::Result;
-use adv_nn::{Mode, Sequential};
+use adv_nn::Sequential;
 use adv_tensor::Tensor;
+use std::time::Duration;
 
 /// Which parts of MagNet are active — the four defense schemes compared in
 /// the paper's supplementary figures.
@@ -57,6 +59,25 @@ impl Verdict {
             Verdict::Detected => true,
             Verdict::Classified(pred) => pred == truth,
         }
+    }
+}
+
+/// Wall-clock time spent in each stage of one [`MagnetDefense::classify_timed`]
+/// call. Stages skipped by the scheme report [`Duration::ZERO`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Detector scoring (all deployed detectors, OR-combined).
+    pub detect: Duration,
+    /// Reformer auto-encoder pass.
+    pub reform: Duration,
+    /// Classifier forward pass (including argmax).
+    pub classify: Duration,
+}
+
+impl StageTimings {
+    /// Total time across the three stages.
+    pub fn total(&self) -> Duration {
+        self.detect + self.reform + self.classify
     }
 }
 
@@ -121,10 +142,10 @@ impl MagnetDefense {
     /// # Errors
     ///
     /// Returns an uncalibrated-detector error or scoring errors.
-    pub fn detect(&mut self, x: &Tensor) -> Result<Vec<bool>> {
+    pub fn detect(&self, x: &Tensor) -> Result<Vec<bool>> {
         let n = x.shape().dim(0);
         let mut combined = vec![false; n];
-        for det in &mut self.detectors {
+        for det in &self.detectors {
             for (c, f) in combined.iter_mut().zip(det.flags(x)?) {
                 *c |= f;
             }
@@ -139,9 +160,9 @@ impl MagnetDefense {
     /// # Errors
     ///
     /// Returns an uncalibrated-detector error or scoring errors.
-    pub fn detect_breakdown(&mut self, x: &Tensor) -> Result<Vec<(String, Vec<bool>)>> {
+    pub fn detect_breakdown(&self, x: &Tensor) -> Result<Vec<(String, Vec<bool>)>> {
         self.detectors
-            .iter_mut()
+            .iter()
             .map(|d| Ok((d.name(), d.flags(x)?)))
             .collect()
     }
@@ -151,7 +172,7 @@ impl MagnetDefense {
     /// # Errors
     ///
     /// Returns shape errors from the auto-encoder.
-    pub fn reform(&mut self, x: &Tensor) -> Result<Tensor> {
+    pub fn reform(&self, x: &Tensor) -> Result<Tensor> {
         self.reformer.reconstruct(x)
     }
 
@@ -160,23 +181,129 @@ impl MagnetDefense {
     /// # Errors
     ///
     /// Propagates detector and classifier errors.
-    pub fn classify(&mut self, x: &Tensor, scheme: DefenseScheme) -> Result<Vec<Verdict>> {
+    pub fn classify(&self, x: &Tensor, scheme: DefenseScheme) -> Result<Vec<Verdict>> {
+        Ok(self.classify_timed(x, scheme)?.0)
+    }
+
+    /// Like [`classify`](Self::classify) but also reports wall-clock time per
+    /// pipeline stage — the serving engine's per-request latency breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector and classifier errors.
+    pub fn classify_timed(
+        &self,
+        x: &Tensor,
+        scheme: DefenseScheme,
+    ) -> Result<(Vec<Verdict>, StageTimings)> {
         let n = x.shape().dim(0);
+        let mut timings = StageTimings::default();
+
+        let t0 = std::time::Instant::now();
         let detected = match scheme {
-            DefenseScheme::DetectorOnly | DefenseScheme::Full => self.detect(x)?,
+            DefenseScheme::DetectorOnly | DefenseScheme::Full => {
+                let d = self.detect(x)?;
+                timings.detect = t0.elapsed();
+                d
+            }
             _ => vec![false; n],
         };
+
+        let t1 = std::time::Instant::now();
         let input = match scheme {
-            DefenseScheme::ReformerOnly | DefenseScheme::Full => self.reform(x)?,
+            DefenseScheme::ReformerOnly | DefenseScheme::Full => {
+                let r = self.reform(x)?;
+                timings.reform = t1.elapsed();
+                r
+            }
             _ => x.clone(),
         };
-        let logits = self.classifier.forward(&input, Mode::Eval)?;
-        let preds = logits.argmax_rows()?;
-        Ok(detected
+
+        let t2 = std::time::Instant::now();
+        let preds = self.classifier.predict_shared(&input)?;
+        timings.classify = t2.elapsed();
+
+        let verdicts = detected
             .into_iter()
             .zip(preds)
-            .map(|(d, p)| if d { Verdict::Detected } else { Verdict::Classified(p) })
-            .collect())
+            .map(|(d, p)| {
+                if d {
+                    Verdict::Detected
+                } else {
+                    Verdict::Classified(p)
+                }
+            })
+            .collect();
+        Ok((verdicts, timings))
+    }
+
+    /// Like [`classify_timed`](Self::classify_timed), but runs the pipeline
+    /// through an [`InferenceCache`] so sub-computations shared between
+    /// detectors, reformer, and classifier execute once per batch instead of
+    /// once per consumer.
+    ///
+    /// The cache only reuses a result when model parameters and input tensor
+    /// are bit-identical, so the verdicts (and stage attribution of *which*
+    /// work ran) match [`classify`](Self::classify) exactly — this is the
+    /// serving engine's hot path, and its speedup over the serial path comes
+    /// from MagNet's own redundancy: the paper's assemblies reuse one
+    /// auto-encoder as both detector and reformer, and JSD detectors re-run
+    /// the protected classifier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector and classifier errors.
+    pub fn classify_fused(
+        &self,
+        x: &Tensor,
+        scheme: DefenseScheme,
+    ) -> Result<(Vec<Verdict>, StageTimings)> {
+        let n = x.shape().dim(0);
+        let mut timings = StageTimings::default();
+        let mut cache = InferenceCache::new();
+
+        let t0 = std::time::Instant::now();
+        let detected = match scheme {
+            DefenseScheme::DetectorOnly | DefenseScheme::Full => {
+                let mut combined = vec![false; n];
+                for det in &self.detectors {
+                    for (c, f) in combined.iter_mut().zip(det.flags_fused(x, &mut cache)?) {
+                        *c |= f;
+                    }
+                }
+                timings.detect = t0.elapsed();
+                combined
+            }
+            _ => vec![false; n],
+        };
+
+        let t1 = std::time::Instant::now();
+        let input = match scheme {
+            DefenseScheme::ReformerOnly | DefenseScheme::Full => {
+                let r = cache.reconstruction(&self.reformer, x)?;
+                timings.reform = t1.elapsed();
+                r
+            }
+            _ => x.clone(),
+        };
+
+        let t2 = std::time::Instant::now();
+        let logits = cache.logits(&self.classifier, &input)?;
+        let preds = logits.argmax_rows()?;
+        timings.classify = t2.elapsed();
+
+        let verdicts = detected
+            .into_iter()
+            .zip(preds)
+            .map(|(d, p)| {
+                if d {
+                    Verdict::Detected
+                } else {
+                    Verdict::Classified(p)
+                }
+            })
+            .collect();
+        Ok((verdicts, timings))
     }
 
     /// The paper's *classification accuracy* of the defense on a batch with
@@ -185,12 +312,7 @@ impl MagnetDefense {
     /// # Errors
     ///
     /// Propagates pipeline errors; the label count must match the batch.
-    pub fn accuracy(
-        &mut self,
-        x: &Tensor,
-        labels: &[usize],
-        scheme: DefenseScheme,
-    ) -> Result<f32> {
+    pub fn accuracy(&self, x: &Tensor, labels: &[usize], scheme: DefenseScheme) -> Result<f32> {
         let verdicts = self.classify(x, scheme)?;
         if verdicts.is_empty() {
             return Ok(0.0);
@@ -248,17 +370,15 @@ mod tests {
 
     #[test]
     fn scheme_none_never_detects() {
-        let mut d = toy_defense();
+        let d = toy_defense();
         // No calibration needed: scheme None skips detectors entirely.
         let verdicts = d.classify(&toy_batch(4), DefenseScheme::None).unwrap();
-        assert!(verdicts
-            .iter()
-            .all(|v| matches!(v, Verdict::Classified(_))));
+        assert!(verdicts.iter().all(|v| matches!(v, Verdict::Classified(_))));
     }
 
     #[test]
     fn uncalibrated_full_scheme_errors() {
-        let mut d = toy_defense();
+        let d = toy_defense();
         assert!(d.classify(&toy_batch(2), DefenseScheme::Full).is_err());
     }
 
@@ -316,11 +436,76 @@ mod tests {
     #[test]
     fn labels_shorter_than_batch_are_partial() {
         // zip() semantics: extra verdicts are ignored; documents the contract.
-        let mut d = toy_defense();
+        let d = toy_defense();
         let acc = d
             .accuracy(&toy_batch(3), &[0, 0, 0], DefenseScheme::None)
             .unwrap();
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    /// A defense with the paper's D+JSD redundancy pattern: one AE shared by
+    /// a reconstruction detector, two JSD detectors, and the reformer; the
+    /// JSD detectors also carry clones of the protected classifier.
+    fn jsd_defense() -> MagnetDefense {
+        let ae = Autoencoder::new(
+            &mnist_ae_two(1, 3),
+            ReconstructionLoss::MeanSquaredError,
+            0.0,
+            1,
+        )
+        .unwrap();
+        let classifier = Sequential::from_specs(&mnist_classifier(8, 1, 2, 4, 8, 10), 2).unwrap();
+        let detectors: Vec<Box<dyn Detector>> = vec![
+            Box::new(ReconstructionDetector::new(
+                ae.clone(),
+                ReconstructionNorm::L2,
+            )),
+            Box::new(
+                crate::detector::JsdDetector::new(ae.clone(), classifier.clone(), 10.0).unwrap(),
+            ),
+            Box::new(
+                crate::detector::JsdDetector::new(ae.clone(), classifier.clone(), 40.0).unwrap(),
+            ),
+        ];
+        MagnetDefense::new("toy-d-jsd", detectors, ae, classifier)
+    }
+
+    #[test]
+    fn fused_pipeline_is_bit_identical_to_serial() {
+        for mut d in [toy_defense(), jsd_defense()] {
+            d.calibrate_detectors(&toy_batch(64), 0.05).unwrap();
+            let x = toy_batch(12);
+            for scheme in DefenseScheme::ALL {
+                let serial = d.classify(&x, scheme).unwrap();
+                let (fused, timings) = d.classify_fused(&x, scheme).unwrap();
+                assert_eq!(fused, serial, "{} {scheme:?}", d.name());
+                if scheme == DefenseScheme::Full {
+                    assert!(timings.detect > Duration::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_pass_actually_deduplicates_shared_work() {
+        // Replay a Full pass through one cache and count network executions.
+        // Serial, this defense runs the shared AE four times (recon detector,
+        // two JSD detectors, reformer) and the classifier five times (x and
+        // AE(x) per JSD detector, plus the final pass on the reformed batch)
+        // — 9 network runs for only 3 distinct computations.
+        let mut d = jsd_defense();
+        d.calibrate_detectors(&toy_batch(64), 0.05).unwrap();
+        let x = toy_batch(4);
+        let mut cache = InferenceCache::new();
+        for det in &d.detectors {
+            det.flags_fused(&x, &mut cache).unwrap();
+        }
+        let reformed = cache.reconstruction(&d.reformer, &x).unwrap();
+        cache.logits(&d.classifier, &reformed).unwrap();
+        // Serial work: 4 AE passes + 5 classifier passes = 9 network runs.
+        // Distinct: AE(x), logits(x), logits(AE(x)) = 3.
+        assert_eq!(cache.misses(), 3, "distinct sub-computations");
+        assert_eq!(cache.hits(), 6, "deduplicated sub-computations");
     }
 
     #[test]

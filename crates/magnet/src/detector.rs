@@ -1,9 +1,10 @@
 use crate::autoencoder::Autoencoder;
+use crate::fused::InferenceCache;
 use crate::jsd::jsd_rows;
 use crate::threshold::threshold_for_fpr;
 use crate::{MagnetError, Result};
 use adv_nn::softmax::softmax_rows_with_temperature;
-use adv_nn::{Mode, Sequential};
+use adv_nn::Sequential;
 use adv_tensor::Tensor;
 use std::fmt;
 
@@ -21,7 +22,10 @@ pub enum ReconstructionNorm {
 ///
 /// MagNet's detection decision for an input is the OR over all deployed
 /// detectors.
-pub trait Detector: Send + fmt::Debug {
+///
+/// Scoring and flagging take `&self` so a calibrated detector can serve
+/// concurrent inference; only calibration mutates state.
+pub trait Detector: Send + Sync + fmt::Debug {
     /// Human-readable detector name (appears in reports and errors).
     fn name(&self) -> String;
 
@@ -30,7 +34,7 @@ pub trait Detector: Send + fmt::Debug {
     /// # Errors
     ///
     /// Returns shape errors when `x` does not match the detector's models.
-    fn scores(&mut self, x: &Tensor) -> Result<Vec<f32>>;
+    fn scores(&self, x: &Tensor) -> Result<Vec<f32>>;
 
     /// The calibrated threshold, or `None` before calibration.
     fn threshold(&self) -> Option<f32>;
@@ -58,11 +62,42 @@ pub trait Detector: Send + fmt::Debug {
     ///
     /// Returns [`MagnetError::Uncalibrated`] before calibration and
     /// propagates scoring errors.
-    fn flags(&mut self, x: &Tensor) -> Result<Vec<bool>> {
+    fn flags(&self, x: &Tensor) -> Result<Vec<bool>> {
         let threshold = self.threshold().ok_or_else(|| MagnetError::Uncalibrated {
             detector: self.name(),
         })?;
         Ok(self.scores(x)?.into_iter().map(|s| s > threshold).collect())
+    }
+
+    /// Like [`scores`](Self::scores), but allowed to reuse sub-computations
+    /// (auto-encoder reconstructions, classifier logits) from `cache` and to
+    /// deposit its own for detectors evaluated later in the same pass.
+    ///
+    /// Must be bit-identical to `scores`; the default ignores the cache.
+    ///
+    /// # Errors
+    ///
+    /// As [`scores`](Self::scores).
+    fn scores_fused<'m>(&'m self, x: &Tensor, cache: &mut InferenceCache<'m>) -> Result<Vec<f32>> {
+        let _ = cache;
+        self.scores(x)
+    }
+
+    /// Like [`flags`](Self::flags), but via
+    /// [`scores_fused`](Self::scores_fused).
+    ///
+    /// # Errors
+    ///
+    /// As [`flags`](Self::flags).
+    fn flags_fused<'m>(&'m self, x: &Tensor, cache: &mut InferenceCache<'m>) -> Result<Vec<bool>> {
+        let threshold = self.threshold().ok_or_else(|| MagnetError::Uncalibrated {
+            detector: self.name(),
+        })?;
+        Ok(self
+            .scores_fused(x, cache)?
+            .into_iter()
+            .map(|s| s > threshold)
+            .collect())
     }
 }
 
@@ -99,7 +134,7 @@ impl Detector for ReconstructionDetector {
         }
     }
 
-    fn scores(&mut self, x: &Tensor) -> Result<Vec<f32>> {
+    fn scores(&self, x: &Tensor) -> Result<Vec<f32>> {
         let p = match self.norm {
             ReconstructionNorm::L1 => 1,
             ReconstructionNorm::L2 => 2,
@@ -113,6 +148,15 @@ impl Detector for ReconstructionDetector {
 
     fn set_threshold(&mut self, threshold: f32) {
         self.threshold = Some(threshold);
+    }
+
+    fn scores_fused<'m>(&'m self, x: &Tensor, cache: &mut InferenceCache<'m>) -> Result<Vec<f32>> {
+        let p = match self.norm {
+            ReconstructionNorm::L1 => 1,
+            ReconstructionNorm::L2 => 2,
+        };
+        let recon = cache.reconstruction(&self.ae, x)?;
+        Ok(Autoencoder::errors_against(x, &recon, p))
     }
 }
 
@@ -153,6 +197,15 @@ impl JsdDetector {
     pub fn temperature(&self) -> f32 {
         self.temperature
     }
+
+    /// JSD between temperature-softened class distributions of the two logit
+    /// batches — the post-network math shared by the plain and fused paths.
+    fn jsd_from_logits(&self, logits_x: &Tensor, logits_r: &Tensor) -> Result<Vec<f32>> {
+        let k = logits_x.shape().dim(1);
+        let px = softmax_rows_with_temperature(logits_x, self.temperature)?;
+        let pr = softmax_rows_with_temperature(logits_r, self.temperature)?;
+        jsd_rows(px.as_slice(), pr.as_slice(), k)
+    }
 }
 
 impl Detector for JsdDetector {
@@ -163,14 +216,11 @@ impl Detector for JsdDetector {
         format!("jsd-t{t}")
     }
 
-    fn scores(&mut self, x: &Tensor) -> Result<Vec<f32>> {
+    fn scores(&self, x: &Tensor) -> Result<Vec<f32>> {
         let recon = self.ae.reconstruct(x)?;
-        let logits_x = self.classifier.forward(x, Mode::Eval)?;
-        let logits_r = self.classifier.forward(&recon, Mode::Eval)?;
-        let k = logits_x.shape().dim(1);
-        let px = softmax_rows_with_temperature(&logits_x, self.temperature)?;
-        let pr = softmax_rows_with_temperature(&logits_r, self.temperature)?;
-        jsd_rows(px.as_slice(), pr.as_slice(), k)
+        let logits_x = self.classifier.infer(x)?;
+        let logits_r = self.classifier.infer(&recon)?;
+        self.jsd_from_logits(&logits_x, &logits_r)
     }
 
     fn threshold(&self) -> Option<f32> {
@@ -179,6 +229,13 @@ impl Detector for JsdDetector {
 
     fn set_threshold(&mut self, threshold: f32) {
         self.threshold = Some(threshold);
+    }
+
+    fn scores_fused<'m>(&'m self, x: &Tensor, cache: &mut InferenceCache<'m>) -> Result<Vec<f32>> {
+        let recon = cache.reconstruction(&self.ae, x)?;
+        let logits_x = cache.logits(&self.classifier, x)?;
+        let logits_r = cache.logits(&self.classifier, &recon)?;
+        self.jsd_from_logits(&logits_x, &logits_r)
     }
 }
 
@@ -229,7 +286,7 @@ mod tests {
 
     #[test]
     fn scores_are_nonnegative() {
-        let mut det = ReconstructionDetector::new(toy_ae(), ReconstructionNorm::L2);
+        let det = ReconstructionDetector::new(toy_ae(), ReconstructionNorm::L2);
         assert!(det
             .scores(&toy_batch(8, 1.0))
             .unwrap()
@@ -239,9 +296,8 @@ mod tests {
 
     #[test]
     fn jsd_detector_scores_bounded() {
-        let classifier =
-            Sequential::from_specs(&mnist_classifier(8, 1, 2, 4, 8, 10), 3).unwrap();
-        let mut det = JsdDetector::new(toy_ae(), classifier, 10.0).unwrap();
+        let classifier = Sequential::from_specs(&mnist_classifier(8, 1, 2, 4, 8, 10), 3).unwrap();
+        let det = JsdDetector::new(toy_ae(), classifier, 10.0).unwrap();
         let scores = det.scores(&toy_batch(6, 1.0)).unwrap();
         assert_eq!(scores.len(), 6);
         assert!(scores
@@ -251,8 +307,7 @@ mod tests {
 
     #[test]
     fn jsd_detector_rejects_bad_temperature() {
-        let classifier =
-            Sequential::from_specs(&mnist_classifier(8, 1, 2, 4, 8, 10), 3).unwrap();
+        let classifier = Sequential::from_specs(&mnist_classifier(8, 1, 2, 4, 8, 10), 3).unwrap();
         assert!(JsdDetector::new(toy_ae(), classifier, 0.0).is_err());
     }
 
@@ -262,8 +317,7 @@ mod tests {
         let d2 = ReconstructionDetector::new(toy_ae(), ReconstructionNorm::L2);
         assert_eq!(d1.name(), "recon-l1");
         assert_eq!(d2.name(), "recon-l2");
-        let classifier =
-            Sequential::from_specs(&mnist_classifier(8, 1, 2, 4, 8, 10), 3).unwrap();
+        let classifier = Sequential::from_specs(&mnist_classifier(8, 1, 2, 4, 8, 10), 3).unwrap();
         let d3 = JsdDetector::new(toy_ae(), classifier, 40.0).unwrap();
         assert_eq!(d3.name(), "jsd-t40");
     }
@@ -280,7 +334,7 @@ mod tests {
             (1.0 - d / 5.0).clamp(0.0, 1.0)
         });
         ae.train(&blobs, 30, 16, 0.01, 1).unwrap();
-        let mut det = ReconstructionDetector::new(ae, ReconstructionNorm::L2);
+        let det = ReconstructionDetector::new(ae, ReconstructionNorm::L2);
         let clean_mean: f32 = det.scores(&blobs).unwrap().iter().sum::<f32>() / 64.0;
         let noise = Tensor::from_fn(Shape::nchw(64, 1, 8, 8), |i| {
             ((i as u64).wrapping_mul(2_654_435_761) % 101) as f32 / 101.0

@@ -29,6 +29,7 @@ mod autoencoder;
 mod defense;
 mod detector;
 mod error;
+mod fused;
 
 pub mod arch;
 pub mod graybox;
@@ -37,9 +38,10 @@ pub mod threshold;
 pub mod variants;
 
 pub use autoencoder::Autoencoder;
-pub use defense::{DefenseScheme, MagnetDefense, Verdict};
+pub use defense::{DefenseScheme, MagnetDefense, StageTimings, Verdict};
 pub use detector::{Detector, JsdDetector, ReconstructionDetector, ReconstructionNorm};
 pub use error::MagnetError;
+pub use fused::InferenceCache;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, MagnetError>;

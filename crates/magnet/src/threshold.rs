@@ -27,9 +27,8 @@ pub fn threshold_for_fpr(clean_scores: &[f32], fpr: f32) -> Result<f32> {
             "fpr {fpr} outside (0, 1)"
         )));
     }
-    quantile(clean_scores, 1.0 - fpr).ok_or_else(|| {
-        MagnetError::InvalidArgument("quantile computation failed".into())
-    })
+    quantile(clean_scores, 1.0 - fpr)
+        .ok_or_else(|| MagnetError::InvalidArgument("quantile computation failed".into()))
 }
 
 /// Observed false-positive rate of `threshold` on clean scores (fraction

@@ -183,8 +183,7 @@ pub fn assemble_mnist_defense(
             t,
         )?));
     }
-    let mut defense =
-        MagnetDefense::new(name, detectors, aes.ae_one.clone(), classifier.clone());
+    let mut defense = MagnetDefense::new(name, detectors, aes.ae_one.clone(), classifier.clone());
     defense.calibrate_detectors(valid_images, fpr)?;
     Ok(defense)
 }
@@ -216,7 +215,11 @@ pub fn assemble_cifar_defense(
         )),
     ];
     for &t in jsd_temperatures {
-        detectors.push(Box::new(JsdDetector::new(ae.clone(), classifier.clone(), t)?));
+        detectors.push(Box::new(JsdDetector::new(
+            ae.clone(),
+            classifier.clone(),
+            t,
+        )?));
     }
     let mut defense = MagnetDefense::new(name, detectors, ae.clone(), classifier.clone());
     defense.calibrate_detectors(valid_images, fpr)?;
@@ -240,7 +243,9 @@ mod tests {
     }
 
     fn toy_images(n: usize, c: usize, side: usize) -> Tensor {
-        Tensor::from_fn(Shape::nchw(n, c, side, side), |i| ((i * 13) % 17) as f32 / 17.0)
+        Tensor::from_fn(Shape::nchw(n, c, side, side), |i| {
+            ((i * 13) % 17) as f32 / 17.0
+        })
     }
 
     #[test]
@@ -282,7 +287,7 @@ mod tests {
         let train = toy_images(48, 1, 8);
         let aes = train_mnist_autoencoders(1, &tiny_spec(), &train).unwrap();
         let classifier = Sequential::from_specs(&mnist_classifier(8, 1, 2, 4, 8, 10), 3).unwrap();
-        let mut defense =
+        let defense =
             assemble_mnist_defense("default", &aes, &classifier, &[], &train, 0.05).unwrap();
         let verdicts = defense
             .classify(&toy_images(4, 1, 8), DefenseScheme::Full)

@@ -89,6 +89,9 @@ mod tests {
     #[test]
     fn display_no_cache() {
         let e = NnError::NoForwardCache { layer: "dense" };
-        assert_eq!(e.to_string(), "backward called before forward on dense layer");
+        assert_eq!(
+            e.to_string(),
+            "backward called before forward on dense layer"
+        );
     }
 }

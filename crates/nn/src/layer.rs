@@ -58,13 +58,28 @@ impl Param {
 /// Returning the input gradient is what allows `adv-attacks` to obtain
 /// `∂loss/∂image` by chaining `backward` calls from the logits to the pixels.
 ///
+/// Layers additionally expose [`infer`](Layer::infer), a cache-free
+/// evaluation-mode forward taking `&self`. This is the path the serving
+/// engine uses: because it never touches the backward cache, one network can
+/// run inference from many threads at once behind an `Arc`.
+///
 /// # Errors
 ///
 /// `backward` must return [`crate::NnError::NoForwardCache`] when invoked
 /// before any `forward` call.
-pub trait Layer: fmt::Debug + Send {
+pub trait Layer: fmt::Debug + Send + Sync {
     /// Computes the layer output for `input`, caching backward state.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Computes the layer output for `input` in evaluation mode without
+    /// writing any backward state, allowing concurrent calls through `&self`.
+    ///
+    /// Must agree bit-for-bit with `forward(input, Mode::Eval)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same shape errors as [`forward`](Layer::forward).
+    fn infer(&self, input: &Tensor) -> Result<Tensor>;
 
     /// Back-propagates `grad_out = ∂L/∂output`; returns `∂L/∂input` and
     /// accumulates parameter gradients.

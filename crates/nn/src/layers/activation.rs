@@ -79,10 +79,14 @@ impl ActivationLayer {
 
 impl Layer for ActivationLayer {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
-        let a = self.activation;
-        let y = input.map(|v| a.apply(v));
+        let y = self.infer(input)?;
         self.cache = Some(y.clone());
         Ok(y)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        let a = self.activation;
+        Ok(input.map(|v| a.apply(v)))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -148,8 +152,8 @@ mod tests {
                 xp.as_mut_slice()[i] += eps;
                 let mut xm = x.clone();
                 xm.as_mut_slice()[i] -= eps;
-                let fd = (xp.map(|v| act.apply(v)).sum() - xm.map(|v| act.apply(v)).sum())
-                    / (2.0 * eps);
+                let fd =
+                    (xp.map(|v| act.apply(v)).sum() - xm.map(|v| act.apply(v)).sum()) / (2.0 * eps);
                 assert!(
                     (fd - dx.as_slice()[i]).abs() < 1e-2,
                     "{act:?} dx[{i}]: {fd} vs {}",

@@ -46,9 +46,18 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
-        let y = conv2d(input, &self.weight.value, &self.bias.value, &self.spec)?;
+        let y = self.infer(input)?;
         self.cache = Some(input.clone());
         Ok(y)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        Ok(conv2d(
+            input,
+            &self.weight.value,
+            &self.bias.value,
+            &self.spec,
+        )?)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

@@ -20,7 +20,8 @@ impl Dense {
     /// Creates a dense layer with Glorot-uniform weights drawn from `seed`.
     pub fn new(inputs: usize, outputs: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let weight = init::glorot_uniform(Shape::matrix(inputs, outputs), inputs, outputs, &mut rng);
+        let weight =
+            init::glorot_uniform(Shape::matrix(inputs, outputs), inputs, outputs, &mut rng);
         Dense {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(Shape::vector(outputs))),
@@ -41,8 +42,8 @@ impl Dense {
     }
 }
 
-impl Layer for Dense {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+impl Dense {
+    fn affine(&self, input: &Tensor) -> Result<Tensor> {
         let mut y = matmul(input, &self.weight.value)?;
         let b = self.bias.value.as_slice();
         for row in y.as_mut_slice().chunks_exact_mut(self.outputs) {
@@ -50,8 +51,19 @@ impl Layer for Dense {
                 *v += bi;
             }
         }
+        Ok(y)
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let y = self.affine(input)?;
         self.cache = Some(input.clone());
         Ok(y)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        self.affine(input)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -115,7 +127,8 @@ mod tests {
     #[test]
     fn backward_matches_finite_differences() {
         let mut layer = Dense::new(3, 2, 7);
-        let x = Tensor::from_vec(vec![0.2, -0.4, 0.9, 1.0, 0.0, -1.0], Shape::matrix(2, 3)).unwrap();
+        let x =
+            Tensor::from_vec(vec![0.2, -0.4, 0.9, 1.0, 0.0, -1.0], Shape::matrix(2, 3)).unwrap();
         let y = layer.forward(&x, Mode::Train).unwrap();
         let dy = Tensor::ones(y.shape().clone());
         let dx = layer.backward(&dy).unwrap();

@@ -65,6 +65,11 @@ impl Layer for Dropout {
         }
     }
 
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        // Inverted dropout is the identity in evaluation mode.
+        Ok(input.clone())
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let mask = self
             .mask

@@ -31,6 +31,10 @@ impl Layer for MaxPool2d {
         Ok(y)
     }
 
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        Ok(max_pool2d(input, &self.spec)?.0)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let (shape, idx) = self
             .cache
@@ -65,9 +69,13 @@ impl AvgPool2d {
 
 impl Layer for AvgPool2d {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
-        let y = avg_pool2d(input, &self.spec)?;
+        let y = self.infer(input)?;
         self.cache = Some(input.shape().clone());
         Ok(y)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        Ok(avg_pool2d(input, &self.spec)?)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -90,16 +98,10 @@ mod tests {
     #[test]
     fn max_pool_forward_backward_roundtrip() {
         let mut l = MaxPool2d::new(Pool2dSpec::square(2));
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0],
-            Shape::nchw(1, 1, 2, 2),
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::nchw(1, 1, 2, 2)).unwrap();
         let y = l.forward(&x, Mode::Eval).unwrap();
         assert_eq!(y.as_slice(), &[4.0]);
-        let dx = l
-            .backward(&Tensor::ones(Shape::nchw(1, 1, 1, 1)))
-            .unwrap();
+        let dx = l.backward(&Tensor::ones(Shape::nchw(1, 1, 1, 1))).unwrap();
         assert_eq!(dx.as_slice(), &[0.0, 0.0, 0.0, 1.0]);
     }
 
@@ -109,9 +111,7 @@ mod tests {
         let x = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], Shape::nchw(1, 1, 2, 2)).unwrap();
         let y = l.forward(&x, Mode::Eval).unwrap();
         assert_eq!(y.as_slice(), &[5.0]);
-        let dx = l
-            .backward(&Tensor::ones(Shape::nchw(1, 1, 1, 1)))
-            .unwrap();
+        let dx = l.backward(&Tensor::ones(Shape::nchw(1, 1, 1, 1))).unwrap();
         assert_eq!(dx.as_slice(), &[0.25, 0.25, 0.25, 0.25]);
     }
 

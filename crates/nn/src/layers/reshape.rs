@@ -24,6 +24,12 @@ impl Default for Flatten {
 
 impl Layer for Flatten {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let y = self.infer(input)?;
+        self.cache = Some(input.shape().clone());
+        Ok(y)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
         if input.shape().rank() < 2 {
             return Err(NnError::InvalidArgument(
                 "flatten requires a batched input (rank >= 2)".into(),
@@ -31,7 +37,6 @@ impl Layer for Flatten {
         }
         let n = input.shape().dim(0);
         let features = input.shape().volume() / n;
-        self.cache = Some(input.shape().clone());
         Ok(input.reshape(Shape::matrix(n, features))?)
     }
 
@@ -73,6 +78,12 @@ impl Reshape {
 
 impl Layer for Reshape {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let y = self.infer(input)?;
+        self.cache = Some(input.shape().clone());
+        Ok(y)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
         if input.shape().rank() < 1 {
             return Err(NnError::InvalidArgument(
                 "reshape requires a batched input".into(),
@@ -81,7 +92,6 @@ impl Layer for Reshape {
         let n = input.shape().dim(0);
         let mut dims = vec![n];
         dims.extend_from_slice(&self.item_shape);
-        self.cache = Some(input.shape().clone());
         Ok(input.reshape(Shape::new(dims))?)
     }
 
@@ -126,7 +136,9 @@ mod tests {
     #[test]
     fn flatten_rejects_rank1() {
         let mut f = Flatten::new();
-        assert!(f.forward(&Tensor::zeros(Shape::vector(4)), Mode::Eval).is_err());
+        assert!(f
+            .forward(&Tensor::zeros(Shape::vector(4)), Mode::Eval)
+            .is_err());
     }
 
     #[test]

@@ -346,8 +346,12 @@ mod tests {
     fn reconstruction_loss_dispatch() {
         let p = t(&[1.0], 1, 1);
         let y = t(&[0.0], 1, 1);
-        let (l2, _) = ReconstructionLoss::MeanSquaredError.compute(&p, &y).unwrap();
-        let (l1, _) = ReconstructionLoss::MeanAbsoluteError.compute(&p, &y).unwrap();
+        let (l2, _) = ReconstructionLoss::MeanSquaredError
+            .compute(&p, &y)
+            .unwrap();
+        let (l1, _) = ReconstructionLoss::MeanAbsoluteError
+            .compute(&p, &y)
+            .unwrap();
         assert_eq!(l2, 1.0);
         assert_eq!(l1, 1.0);
     }

@@ -135,7 +135,9 @@ impl Sequential {
         let layers = specs
             .iter()
             .enumerate()
-            .map(|(i, s)| s.build(seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))))
+            .map(|(i, s)| {
+                s.build(seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            })
             .collect::<Result<Vec<_>>>()?;
         Ok(Sequential {
             specs: specs.to_vec(),
@@ -177,6 +179,35 @@ impl Sequential {
         Ok(x)
     }
 
+    /// Runs a cache-free evaluation-mode forward pass from `&self`.
+    ///
+    /// Agrees bit-for-bit with `forward(input, Mode::Eval)` but never writes
+    /// backward caches, so a `Sequential` behind an `Arc` can serve
+    /// inference from many threads concurrently (the serving engine's hot
+    /// path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from any layer.
+    pub fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Predicted class per batch row (argmax of [`infer`](Self::infer)
+    /// logits), callable from `&self`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors; the output must be rank 2.
+    pub fn predict_shared(&self, input: &Tensor) -> Result<Vec<usize>> {
+        let logits = self.infer(input)?;
+        logits.argmax_rows().map_err(NnError::Tensor)
+    }
+
     /// Back-propagates `grad_output` through all layers (accumulating
     /// parameter gradients) and returns the gradient with respect to the
     /// network input.
@@ -199,7 +230,10 @@ impl Sequential {
 
     /// Flat mutable parameter list across all layers.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Zeroes every parameter gradient.
@@ -207,6 +241,22 @@ impl Sequential {
         for p in self.params_mut() {
             p.zero_grad();
         }
+    }
+
+    /// `true` when `other` computes the same function as `self`: identical
+    /// architecture specs and bit-identical parameter values.
+    ///
+    /// Construction seeds and any cached activations are ignored — two
+    /// networks that agree here produce bit-identical
+    /// [`infer`](Self::infer) outputs for every input, which is what the
+    /// fused defense pipeline keys its memoisation on.
+    pub fn same_function(&self, other: &Sequential) -> bool {
+        if self.specs != other.specs {
+            return false;
+        }
+        let a = self.params();
+        let b = other.params();
+        a.len() == b.len() && a.iter().zip(&b).all(|(p, q)| p.value == q.value)
     }
 
     /// Predicted class per batch row (argmax of the output logits), in
@@ -345,9 +395,15 @@ mod tests {
         let x = Tensor::ones(Shape::matrix(1, 3));
         let y = net.forward(&x, Mode::Train).unwrap();
         net.backward(&Tensor::ones(y.shape().clone())).unwrap();
-        assert!(net.params().iter().any(|p| p.grad.map(f32::abs).sum() > 0.0));
+        assert!(net
+            .params()
+            .iter()
+            .any(|p| p.grad.map(f32::abs).sum() > 0.0));
         net.zero_grads();
-        assert!(net.params().iter().all(|p| p.grad.map(f32::abs).sum() == 0.0));
+        assert!(net
+            .params()
+            .iter()
+            .all(|p| p.grad.map(f32::abs).sum() == 0.0));
     }
 
     #[test]
@@ -359,12 +415,41 @@ mod tests {
     }
 
     #[test]
+    fn infer_matches_eval_forward_bitwise() {
+        let mut net = mlp();
+        let x = Tensor::from_fn(Shape::matrix(5, 3), |i| (i as f32 - 7.0) * 0.3);
+        let eager = net.forward(&x, Mode::Eval).unwrap();
+        let shared = net.infer(&x).unwrap();
+        assert_eq!(eager, shared);
+        assert_eq!(net.predict(&x).unwrap(), net.predict_shared(&x).unwrap());
+    }
+
+    #[test]
+    fn infer_runs_concurrently_from_shared_reference() {
+        let net = std::sync::Arc::new(mlp());
+        let x = Tensor::from_fn(Shape::matrix(2, 3), |i| i as f32 * 0.1);
+        let expected = net.infer(&x).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let net = net.clone();
+                let x = x.clone();
+                std::thread::spawn(move || net.infer(&x).unwrap())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expected);
+        }
+    }
+
+    #[test]
     fn differentiable_trait_object_usable() {
         let mut net = mlp();
         let model: &mut dyn Differentiable = &mut net;
         let x = Tensor::zeros(Shape::matrix(1, 3));
         let y = model.forward(&x).unwrap();
-        let dx = model.backward_input(&Tensor::ones(y.shape().clone())).unwrap();
+        let dx = model
+            .backward_input(&Tensor::ones(y.shape().clone()))
+            .unwrap();
         assert_eq!(dx.shape().dims(), &[1, 3]);
     }
 }

@@ -111,7 +111,11 @@ fn get_spec(buf: &mut Bytes) -> Result<LayerSpec> {
                 0 => Activation::Relu,
                 1 => Activation::Sigmoid,
                 2 => Activation::Tanh,
-                t => return Err(NnError::Serialization(format!("unknown activation tag {t}"))),
+                t => {
+                    return Err(NnError::Serialization(format!(
+                        "unknown activation tag {t}"
+                    )))
+                }
             })
         }
         3 => LayerSpec::MaxPool2d { k: get_usize(buf)? },
@@ -123,7 +127,9 @@ fn get_spec(buf: &mut Bytes) -> Result<LayerSpec> {
         7 => {
             let n = get_usize(buf)?;
             if n > 16 {
-                return Err(NnError::Serialization(format!("implausible reshape rank {n}")));
+                return Err(NnError::Serialization(format!(
+                    "implausible reshape rank {n}"
+                )));
             }
             let mut item_shape = Vec::with_capacity(n);
             for _ in 0..n {
@@ -159,7 +165,9 @@ fn get_tensor(buf: &mut Bytes) -> Result<Tensor> {
     }
     let rank = buf.get_u32_le() as usize;
     if rank > 8 {
-        return Err(NnError::Serialization(format!("implausible tensor rank {rank}")));
+        return Err(NnError::Serialization(format!(
+            "implausible tensor rank {rank}"
+        )));
     }
     let mut dims = Vec::with_capacity(rank);
     for _ in 0..rank {
@@ -211,7 +219,9 @@ pub fn model_from_bytes(data: &[u8]) -> Result<Sequential> {
     let seed = buf.get_u64_le();
     let spec_count = buf.get_u32_le() as usize;
     if spec_count > 10_000 {
-        return Err(NnError::Serialization(format!("implausible layer count {spec_count}")));
+        return Err(NnError::Serialization(format!(
+            "implausible layer count {spec_count}"
+        )));
     }
     let mut specs = Vec::with_capacity(spec_count);
     for _ in 0..spec_count {

@@ -81,11 +81,7 @@ pub fn log_softmax_rows(logits: &Tensor) -> Result<Tensor> {
         .zip(out.chunks_exact_mut(k))
     {
         let max = row_in.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let log_sum = row_in
-            .iter()
-            .map(|&v| (v - max).exp())
-            .sum::<f32>()
-            .ln();
+        let log_sum = row_in.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
         for (o, &v) in row_out.iter_mut().zip(row_in.iter()) {
             *o = v - max - log_sum;
         }

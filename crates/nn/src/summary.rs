@@ -72,7 +72,10 @@ pub fn layer_output_shape(spec: &LayerSpec, input: &ItemShape) -> Result<ItemSha
         LayerSpec::Conv2d(c) => match input {
             ItemShape::Image { c: ic, h, w } if *ic == c.in_channels => {
                 if h + 2 * c.padding < c.kh || w + 2 * c.padding < c.kw {
-                    return err(format!("conv kernel {}x{} larger than input {h}x{w}", c.kh, c.kw));
+                    return err(format!(
+                        "conv kernel {}x{} larger than input {h}x{w}",
+                        c.kh, c.kw
+                    ));
                 }
                 let (ho, wo) = c.output_hw(*h, *w);
                 Ok(ItemShape::Image {
@@ -158,10 +161,18 @@ pub fn infer_output_shape(specs: &[LayerSpec], input: ItemShape) -> Result<ItemS
 /// Propagates shape-inference failures.
 pub fn summarize(specs: &[LayerSpec], input: ItemShape) -> Result<String> {
     let mut out = String::new();
-    out.push_str(&format!("{:<24} {:>14} {:>10}\n", "layer", "output", "params"));
+    out.push_str(&format!(
+        "{:<24} {:>14} {:>10}\n",
+        "layer", "output", "params"
+    ));
     out.push_str(&"-".repeat(50));
     out.push('\n');
-    out.push_str(&format!("{:<24} {:>14} {:>10}\n", "(input)", input.to_string(), 0));
+    out.push_str(&format!(
+        "{:<24} {:>14} {:>10}\n",
+        "(input)",
+        input.to_string(),
+        0
+    ));
     let mut shape = input;
     let mut total = 0usize;
     for spec in specs {
@@ -186,7 +197,12 @@ pub fn summarize(specs: &[LayerSpec], input: ItemShape) -> Result<String> {
             LayerSpec::Reshape { .. } => "Reshape".to_string(),
             LayerSpec::Dropout { p } => format!("Dropout {p}"),
         };
-        out.push_str(&format!("{:<24} {:>14} {:>10}\n", name, shape.to_string(), params));
+        out.push_str(&format!(
+            "{:<24} {:>14} {:>10}\n",
+            name,
+            shape.to_string(),
+            params
+        ));
     }
     out.push_str(&"-".repeat(50));
     out.push('\n');
@@ -214,11 +230,7 @@ mod tests {
 
     #[test]
     fn infers_cnn_shapes() {
-        let out = infer_output_shape(
-            &cnn(),
-            ItemShape::Image { c: 1, h: 28, w: 28 },
-        )
-        .unwrap();
+        let out = infer_output_shape(&cnn(), ItemShape::Image { c: 1, h: 28, w: 28 }).unwrap();
         assert_eq!(out, ItemShape::Features(10));
     }
 
@@ -227,8 +239,7 @@ mod tests {
         use crate::{Mode, Sequential};
         use adv_tensor::{Shape, Tensor};
         let specs = cnn();
-        let inferred =
-            infer_output_shape(&specs, ItemShape::Image { c: 1, h: 28, w: 28 }).unwrap();
+        let inferred = infer_output_shape(&specs, ItemShape::Image { c: 1, h: 28, w: 28 }).unwrap();
         let mut net = Sequential::from_specs(&specs, 0).unwrap();
         let y = net
             .forward(&Tensor::zeros(Shape::nchw(2, 1, 28, 28)), Mode::Eval)
@@ -239,8 +250,7 @@ mod tests {
     #[test]
     fn catches_channel_mismatch() {
         let specs = [LayerSpec::Conv2d(Conv2dSpec::same(3, 8, 3))];
-        let err =
-            infer_output_shape(&specs, ItemShape::Image { c: 1, h: 8, w: 8 }).unwrap_err();
+        let err = infer_output_shape(&specs, ItemShape::Image { c: 1, h: 8, w: 8 }).unwrap_err();
         assert!(err.to_string().contains("layer 0"));
         assert!(err.to_string().contains("3 channels"));
     }
@@ -271,8 +281,7 @@ mod tests {
                 item_shape: vec![2, 4, 4],
             },
         ];
-        let out =
-            infer_output_shape(&specs, ItemShape::Image { c: 2, h: 4, w: 4 }).unwrap();
+        let out = infer_output_shape(&specs, ItemShape::Image { c: 2, h: 4, w: 4 }).unwrap();
         assert_eq!(out, ItemShape::Image { c: 2, h: 4, w: 4 });
     }
 

@@ -124,8 +124,7 @@ pub fn fit_classifier(
             let xb = gather0(x, chunk)?;
             let yb: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
             let logits = net.forward(&xb, Mode::Train)?;
-            let (loss, grad) =
-                softmax_cross_entropy_smoothed(&logits, &yb, cfg.label_smoothing)?;
+            let (loss, grad) = softmax_cross_entropy_smoothed(&logits, &yb, cfg.label_smoothing)?;
             acc_sum += accuracy(&logits, &yb)?;
             net.backward(&grad)?;
             opt.step(&mut net.params_mut())?;
@@ -320,10 +319,7 @@ mod tests {
             data.push(cy + jy);
             labels.push(cls);
         }
-        (
-            Tensor::from_vec(data, Shape::matrix(n, 2)).unwrap(),
-            labels,
-        )
+        (Tensor::from_vec(data, Shape::matrix(n, 2)).unwrap(), labels)
     }
 
     #[test]
@@ -354,7 +350,11 @@ mod tests {
         };
         let history = fit_classifier(&mut net, &mut opt, &x, &y, &cfg).unwrap();
         let last = history.last().unwrap();
-        assert!(last.accuracy.unwrap() > 0.95, "accuracy {:?}", last.accuracy);
+        assert!(
+            last.accuracy.unwrap() > 0.95,
+            "accuracy {:?}",
+            last.accuracy
+        );
         assert!(last.loss < history[0].loss);
     }
 
@@ -407,7 +407,9 @@ mod tests {
 
     #[test]
     fn gaussian_corruption_stays_in_box_and_perturbs() {
-        let x = Tensor::full(Shape::nchw(2, 1, 6, 6), 0.5);
+        // Large enough that the 0.05 mean tolerance sits ~10σ out, so the
+        // check is about bias, not the luck of one small seed.
+        let x = Tensor::full(Shape::nchw(8, 1, 16, 16), 0.5);
         let mut rng = StdRng::seed_from_u64(2);
         let y = Corruption::Gaussian(0.2).apply(&x, &mut rng);
         assert!(y.min() >= 0.0 && y.max() <= 1.0);

@@ -3,10 +3,10 @@
 //! and optimizer convergence on random quadratics.
 
 use adv_nn::loss::{mae, mse, softmax_cross_entropy};
-use adv_nn::Param;
 use adv_nn::optim::{Adam, Optimizer, Sgd};
 use adv_nn::serialize::{model_from_bytes, model_to_bytes};
 use adv_nn::softmax::{softmax_rows, softmax_rows_with_temperature};
+use adv_nn::Param;
 use adv_nn::{Activation, LayerSpec, Mode, Sequential};
 use adv_tensor::{Shape, Tensor};
 use proptest::prelude::*;

@@ -1,0 +1,278 @@
+//! The micro-batching engine: bounded request queue in front of a worker
+//! pool that coalesces requests into batches and runs the shared
+//! [`MagnetDefense`] pipeline on each batch.
+
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::queue::{BoundedQueue, PushError};
+use crate::{Result, ServeError};
+use adv_magnet::{DefenseScheme, MagnetDefense, StageTimings, Verdict};
+use adv_tensor::Tensor;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Largest batch a worker will form before running the pipeline.
+    pub max_batch: usize,
+    /// How long a worker lingers for more requests after the first one.
+    pub max_wait: Duration,
+    /// Queue capacity; submissions beyond it are rejected (backpressure).
+    pub queue_capacity: usize,
+    /// Worker threads sharing the defense.
+    pub workers: usize,
+    /// Defense scheme every request is served under.
+    pub scheme: DefenseScheme,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 32,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 256,
+            workers: 2,
+            scheme: DefenseScheme::Full,
+        }
+    }
+}
+
+/// One served verdict, with the latency breakdown of the batch it rode in.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// The defense pipeline's decision for this input.
+    pub verdict: Verdict,
+    /// Per-stage wall-clock time of the executed batch (shared by every
+    /// request in the batch).
+    pub stage_timings: StageTimings,
+    /// Number of requests coalesced into the executed batch.
+    pub batch_size: usize,
+    /// Time from submission until the batch started executing.
+    pub queue_wait: Duration,
+    /// Total time from submission to response.
+    pub latency: Duration,
+}
+
+/// Handle to a submitted request; resolves to its [`ServeResponse`].
+#[derive(Debug)]
+pub struct PendingVerdict {
+    rx: mpsc::Receiver<Result<ServeResponse>>,
+}
+
+impl PendingVerdict {
+    /// Blocks until the verdict arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns the pipeline error for a failed batch, or
+    /// [`ServeError::Disconnected`] if the engine died without answering.
+    pub fn wait(self) -> Result<ServeResponse> {
+        self.rx.recv().map_err(|_| ServeError::Disconnected)?
+    }
+
+    /// Like [`wait`](Self::wait) but gives up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// As [`wait`](Self::wait), plus [`ServeError::Timeout`] on expiry.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<ServeResponse> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Disconnected),
+        }
+    }
+}
+
+/// A queued classification request.
+#[derive(Debug)]
+struct Request {
+    input: Tensor,
+    submitted: Instant,
+    tx: mpsc::Sender<Result<ServeResponse>>,
+}
+
+/// The serving engine. Dropping (or [`shutdown`](Self::shutdown)) closes the
+/// queue, drains every queued request, and joins the workers.
+#[derive(Debug)]
+pub struct ServeEngine {
+    queue: Arc<BoundedQueue<Request>>,
+    metrics: Arc<ServeMetrics>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Starts the worker pool around a shared, already-calibrated defense.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for zero-sized knobs.
+    pub fn start(defense: Arc<MagnetDefense>, cfg: ServeConfig) -> Result<Self> {
+        if cfg.max_batch == 0 || cfg.workers == 0 || cfg.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig(format!(
+                "max_batch {}, workers {} and queue_capacity {} must all be nonzero",
+                cfg.max_batch, cfg.workers, cfg.queue_capacity
+            )));
+        }
+        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        let metrics = Arc::new(ServeMetrics::default());
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let queue = queue.clone();
+                let metrics = metrics.clone();
+                let defense = defense.clone();
+                let cfg = cfg.clone();
+                std::thread::Builder::new()
+                    .name(format!("adv-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &defense, &cfg, &metrics))
+                    .expect("failed to spawn serve worker")
+            })
+            .collect();
+        Ok(ServeEngine {
+            queue,
+            metrics,
+            workers,
+        })
+    }
+
+    /// Submits one input (per-item shape, e.g. `[C, H, W]`) for
+    /// classification.
+    ///
+    /// Never blocks: when the queue is at capacity the request is rejected so
+    /// the caller can shed load or retry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] under backpressure,
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, input: Tensor) -> Result<PendingVerdict> {
+        let (tx, rx) = mpsc::channel();
+        let request = Request {
+            input,
+            submitted: Instant::now(),
+            tx,
+        };
+        match self.queue.try_push(request) {
+            Ok(depth) => {
+                self.metrics.record_submitted(depth);
+                Ok(PendingVerdict { rx })
+            }
+            Err(PushError::Full(_)) => {
+                self.metrics.record_rejected();
+                Err(ServeError::QueueFull)
+            }
+            Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Number of requests currently queued (not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Current counter snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Stops accepting work, drains every queued request, joins the workers,
+    /// and returns the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop();
+        self.metrics.snapshot()
+    }
+
+    fn stop(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Worker body: coalesce, execute, respond — until close-and-drained.
+fn worker_loop(
+    queue: &BoundedQueue<Request>,
+    defense: &MagnetDefense,
+    cfg: &ServeConfig,
+    metrics: &ServeMetrics,
+) {
+    while let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.max_wait) {
+        if batch.is_empty() {
+            continue;
+        }
+        run_batch(defense, cfg.scheme, batch, metrics);
+    }
+}
+
+/// Executes one coalesced batch and answers every request in it.
+///
+/// Requests are grouped by input shape first, so one oddly-shaped request
+/// fails alone instead of poisoning the whole batch.
+fn run_batch(
+    defense: &MagnetDefense,
+    scheme: DefenseScheme,
+    batch: Vec<Request>,
+    metrics: &ServeMetrics,
+) {
+    let mut groups: Vec<Vec<Request>> = Vec::new();
+    for request in batch {
+        match groups
+            .iter_mut()
+            .find(|g| g[0].input.shape() == request.input.shape())
+        {
+            Some(group) => group.push(request),
+            None => groups.push(vec![request]),
+        }
+    }
+
+    for group in groups {
+        let started = Instant::now();
+        let inputs: Vec<Tensor> = group.iter().map(|r| r.input.clone()).collect();
+        let outcome = Tensor::stack(&inputs)
+            .map_err(|e| ServeError::Pipeline(e.to_string()))
+            .and_then(|x| {
+                // The fused pass memoises sub-computations shared between
+                // detectors, reformer, and classifier within the batch; its
+                // verdicts are bit-identical to `classify` (the equivalence
+                // tests pin this), so batching changes throughput, not
+                // results.
+                defense
+                    .classify_fused(&x, scheme)
+                    .map_err(|e| ServeError::Pipeline(e.to_string()))
+            });
+        match outcome {
+            Ok((verdicts, timings)) => {
+                metrics.record_batch(timings.detect, timings.reform, timings.classify);
+                let batch_size = group.len();
+                for (request, verdict) in group.into_iter().zip(verdicts) {
+                    let response = ServeResponse {
+                        verdict,
+                        stage_timings: timings,
+                        batch_size,
+                        queue_wait: started.duration_since(request.submitted),
+                        latency: request.submitted.elapsed(),
+                    };
+                    metrics.record_completed(response.latency);
+                    // A dropped receiver just means the caller stopped
+                    // waiting; the verdict is discarded.
+                    let _ = request.tx.send(Ok(response));
+                }
+            }
+            Err(err) => {
+                for request in group {
+                    metrics.record_failed();
+                    let _ = request.tx.send(Err(err.clone()));
+                }
+            }
+        }
+    }
+}

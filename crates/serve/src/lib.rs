@@ -1,0 +1,71 @@
+//! adv-serve: batched inference serving for the MagNet defense pipeline.
+//!
+//! The attack-evaluation crates drive [`adv_magnet::MagnetDefense`] one
+//! batch at a time from a single thread. This crate wraps the same pipeline
+//! in a small serving engine for throughput experiments:
+//!
+//! * [`ServeEngine::submit`] accepts single inputs on a bounded MPMC queue
+//!   and returns a [`PendingVerdict`] future-like handle; a full queue
+//!   rejects the request ([`ServeError::QueueFull`]) so callers see
+//!   backpressure instead of unbounded latency.
+//! * Worker threads coalesce requests into micro-batches — flushing on
+//!   `max_batch` or after `max_wait` — and run the shared defense through
+//!   its `&self` inference path, so one calibrated defense behind an `Arc`
+//!   serves all workers with no locking around the model.
+//! * Each [`ServeResponse`] carries the verdict plus the batch's per-stage
+//!   [`adv_magnet::StageTimings`] and queue wait; engine-wide counters
+//!   (throughput, rejects, p50/p99 latency, queue depth) come from
+//!   [`ServeEngine::metrics`].
+//! * [`ServeEngine::shutdown`] (or drop) closes the queue, drains every
+//!   already-accepted request, and joins the workers.
+//!
+//! Batching is exact, not approximate: a batch of `N` requests yields
+//! bit-identical verdicts to `N` serial
+//! [`adv_magnet::MagnetDefense::classify`] calls, because every per-item
+//! computation in the pipeline is independent of its batch neighbours (the
+//! equivalence tests pin this down).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod metrics;
+mod queue;
+
+pub use engine::{PendingVerdict, ServeConfig, ServeEngine, ServeResponse};
+pub use metrics::MetricsSnapshot;
+
+/// Errors surfaced by the serving engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request queue is at capacity; retry later or shed load.
+    QueueFull,
+    /// The engine is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The defense pipeline failed while executing the request's batch.
+    Pipeline(String),
+    /// The engine died without answering (worker panic).
+    Disconnected,
+    /// A wait with a deadline expired before the verdict arrived.
+    Timeout,
+    /// Rejected engine configuration.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "request queue is full"),
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::Pipeline(msg) => write!(f, "defense pipeline failed: {msg}"),
+            ServeError::Disconnected => write!(f, "engine terminated without responding"),
+            ServeError::Timeout => write!(f, "timed out waiting for a verdict"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

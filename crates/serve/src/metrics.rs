@@ -1,0 +1,159 @@
+//! Lock-light serving metrics: atomic counters on the hot path, one mutex
+//! touch per completed request to record its latency sample.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Point-in-time view of the engine's counters, computed by
+/// [`ServeMetrics::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted onto the queue.
+    pub submitted: u64,
+    /// Requests refused because the queue was full (backpressure).
+    pub rejected: u64,
+    /// Requests answered with a verdict.
+    pub completed: u64,
+    /// Requests answered with a pipeline error.
+    pub failed: u64,
+    /// Batches executed by the worker pool.
+    pub batches: u64,
+    /// Highest queue depth observed at submission time.
+    pub max_queue_depth: u64,
+    /// Mean executed batch size (`0.0` before the first batch).
+    pub mean_batch_size: f64,
+    /// Median submit-to-response latency.
+    pub p50_latency: Duration,
+    /// 99th-percentile submit-to-response latency.
+    pub p99_latency: Duration,
+    /// Cumulative wall-clock time in detector scoring across all batches.
+    pub detect_time: Duration,
+    /// Cumulative wall-clock time in the reformer across all batches.
+    pub reform_time: Duration,
+    /// Cumulative wall-clock time in the classifier across all batches.
+    pub classify_time: Duration,
+}
+
+/// Shared counters updated by submitters and workers.
+#[derive(Debug, Default)]
+pub(crate) struct ServeMetrics {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    max_queue_depth: AtomicU64,
+    detect_ns: AtomicU64,
+    reform_ns: AtomicU64,
+    classify_ns: AtomicU64,
+    latencies_ns: Mutex<Vec<u64>>,
+}
+
+impl ServeMetrics {
+    pub fn record_submitted(&self, queue_depth: usize) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.max_queue_depth
+            .fetch_max(queue_depth as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_batch(&self, detect: Duration, reform: Duration, classify: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.detect_ns
+            .fetch_add(detect.as_nanos() as u64, Ordering::Relaxed);
+        self.reform_ns
+            .fetch_add(reform.as_nanos() as u64, Ordering::Relaxed);
+        self.classify_ns
+            .fetch_add(classify.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latencies_ns
+            .lock()
+            .expect("metrics poisoned")
+            .push(latency.as_nanos() as u64);
+    }
+
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut lat = self.latencies_ns.lock().expect("metrics poisoned").clone();
+        lat.sort_unstable();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            batches,
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                completed as f64 / batches as f64
+            },
+            p50_latency: quantile(&lat, 0.50),
+            p99_latency: quantile(&lat, 0.99),
+            detect_time: Duration::from_nanos(self.detect_ns.load(Ordering::Relaxed)),
+            reform_time: Duration::from_nanos(self.reform_ns.load(Ordering::Relaxed)),
+            classify_time: Duration::from_nanos(self.classify_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Nearest-rank quantile (`⌈q·N⌉`-th order statistic) of an ascending-sorted
+/// sample; zero when empty.
+pub(crate) fn quantile(sorted_ns: &[u64], q: f64) -> Duration {
+    if sorted_ns.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (q * sorted_ns.len() as f64).ceil() as usize;
+    let idx = rank.clamp(1, sorted_ns.len()) - 1;
+    Duration::from_nanos(sorted_ns[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_sample() {
+        let ns: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile(&ns, 0.50), Duration::from_nanos(50));
+        assert_eq!(quantile(&ns, 0.99), Duration::from_nanos(99));
+        assert_eq!(quantile(&[], 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_aggregates_counters() {
+        let m = ServeMetrics::default();
+        m.record_submitted(3);
+        m.record_submitted(5);
+        m.record_rejected();
+        m.record_batch(
+            Duration::from_nanos(10),
+            Duration::from_nanos(20),
+            Duration::from_nanos(30),
+        );
+        m.record_completed(Duration::from_micros(7));
+        m.record_completed(Duration::from_micros(9));
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.max_queue_depth, 5);
+        assert_eq!(s.mean_batch_size, 2.0);
+        assert_eq!(s.detect_time, Duration::from_nanos(10));
+        assert_eq!(s.p50_latency, Duration::from_micros(7));
+        assert_eq!(s.p99_latency, Duration::from_micros(9));
+    }
+}

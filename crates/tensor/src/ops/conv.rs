@@ -164,13 +164,7 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
 ///
 /// Returns [`TensorError::ShapeMismatch`] when `cols` does not have the
 /// `[n·ho·wo, c·kh·kw]` shape implied by `spec` and the output geometry.
-pub fn col2im(
-    cols: &Tensor,
-    n: usize,
-    h: usize,
-    w: usize,
-    spec: &Conv2dSpec,
-) -> Result<Tensor> {
+pub fn col2im(cols: &Tensor, n: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Result<Tensor> {
     let (ho, wo) = spec.output_hw(h, w);
     let c = spec.in_channels;
     let patch = spec.patch_len();
@@ -404,7 +398,9 @@ mod tests {
     fn same_padding_preserves_size() {
         let x = Tensor::from_fn(Shape::nchw(2, 3, 5, 5), |i| (i % 11) as f32 * 0.1);
         let spec = Conv2dSpec::same(3, 4, 3);
-        let w = Tensor::from_fn(Shape::new(vec![4, 3, 3, 3]), |i| ((i % 7) as f32 - 3.0) * 0.1);
+        let w = Tensor::from_fn(Shape::new(vec![4, 3, 3, 3]), |i| {
+            ((i % 7) as f32 - 3.0) * 0.1
+        });
         let b = Tensor::zeros(Shape::vector(4));
         let y = conv2d(&x, &w, &b, &spec).unwrap();
         assert_eq!(y.shape().dims(), &[2, 4, 5, 5]);
@@ -414,9 +410,13 @@ mod tests {
     fn col2im_is_adjoint_of_im2col() {
         // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property.
         let spec = Conv2dSpec::same(2, 3, 3);
-        let x = Tensor::from_fn(Shape::nchw(1, 2, 4, 4), |i| ((i * 37 % 17) as f32 - 8.0) * 0.1);
+        let x = Tensor::from_fn(Shape::nchw(1, 2, 4, 4), |i| {
+            ((i * 37 % 17) as f32 - 8.0) * 0.1
+        });
         let cols = im2col(&x, &spec).unwrap();
-        let y = Tensor::from_fn(cols.shape().clone(), |i| ((i * 13 % 29) as f32 - 14.0) * 0.05);
+        let y = Tensor::from_fn(cols.shape().clone(), |i| {
+            ((i * 13 % 29) as f32 - 14.0) * 0.05
+        });
         let lhs = cols.dot(&y).unwrap();
         let folded = col2im(&y, 1, 4, 4, &spec).unwrap();
         let rhs = x.dot(&folded).unwrap();
@@ -427,7 +427,9 @@ mod tests {
     fn backward_matches_finite_differences() {
         let spec = Conv2dSpec::same(1, 2, 3);
         let x = Tensor::from_fn(Shape::nchw(1, 1, 4, 4), |i| ((i % 9) as f32 - 4.0) * 0.1);
-        let w = Tensor::from_fn(Shape::new(vec![2, 1, 3, 3]), |i| ((i % 5) as f32 - 2.0) * 0.1);
+        let w = Tensor::from_fn(Shape::new(vec![2, 1, 3, 3]), |i| {
+            ((i % 5) as f32 - 2.0) * 0.1
+        });
         let b = Tensor::from_vec(vec![0.1, -0.2], Shape::vector(2)).unwrap();
 
         // Scalar loss L = sum(conv(x)) → dy = ones.

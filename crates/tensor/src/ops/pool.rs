@@ -32,7 +32,10 @@ impl Pool2dSpec {
 
     /// Output spatial size for an `h × w` input.
     pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        ((h - self.kh) / self.stride + 1, (w - self.kw) / self.stride + 1)
+        (
+            (h - self.kh) / self.stride + 1,
+            (w - self.kw) / self.stride + 1,
+        )
     }
 
     fn validate(&self, input: &Tensor) -> Result<(usize, usize, usize, usize)> {
@@ -175,11 +178,7 @@ pub fn max_pool2d(input: &Tensor, spec: &Pool2dSpec) -> Result<(Tensor, Vec<usiz
 /// # Errors
 ///
 /// Returns [`TensorError::LengthMismatch`] when `indices` does not match `dy`.
-pub fn max_pool2d_backward(
-    input_shape: &Shape,
-    dy: &Tensor,
-    indices: &[usize],
-) -> Result<Tensor> {
+pub fn max_pool2d_backward(input_shape: &Shape, dy: &Tensor, indices: &[usize]) -> Result<Tensor> {
     if indices.len() != dy.len() {
         return Err(TensorError::LengthMismatch {
             expected: dy.len(),
@@ -283,7 +282,16 @@ mod tests {
 
     #[test]
     fn avg_pool_2x2() {
-        let x = nchw(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0], 1, 1, 4, 4);
+        let x = nchw(
+            &[
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
+            1,
+            1,
+            4,
+            4,
+        );
         let y = avg_pool2d(&x, &Pool2dSpec::square(2)).unwrap();
         assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
         assert_eq!(y.as_slice(), &[3.5, 5.5, 11.5, 13.5]);
@@ -301,8 +309,12 @@ mod tests {
     fn avg_pool_adjoint_property() {
         // <avg_pool(x), y> == <x, avg_pool_backward(y)>
         let spec = Pool2dSpec::square(2);
-        let x = Tensor::from_fn(Shape::nchw(2, 3, 4, 4), |i| ((i * 31 % 13) as f32 - 6.0) * 0.1);
-        let y = Tensor::from_fn(Shape::nchw(2, 3, 2, 2), |i| ((i * 17 % 7) as f32 - 3.0) * 0.2);
+        let x = Tensor::from_fn(Shape::nchw(2, 3, 4, 4), |i| {
+            ((i * 31 % 13) as f32 - 6.0) * 0.1
+        });
+        let y = Tensor::from_fn(Shape::nchw(2, 3, 2, 2), |i| {
+            ((i * 17 % 7) as f32 - 3.0) * 0.2
+        });
         let lhs = avg_pool2d(&x, &spec).unwrap().dot(&y).unwrap();
         let rhs = x
             .dot(&avg_pool2d_backward(x.shape(), &y, &spec).unwrap())
@@ -312,7 +324,15 @@ mod tests {
 
     #[test]
     fn max_pool_selects_maximum() {
-        let x = nchw(&[1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 4.0, 2.0, 0.5, 0.5, 6.0, 1.0, 2.0, 2.0, 2.0, 2.0], 1, 1, 4, 4);
+        let x = nchw(
+            &[
+                1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 4.0, 2.0, 0.5, 0.5, 6.0, 1.0, 2.0, 2.0, 2.0, 2.0,
+            ],
+            1,
+            1,
+            4,
+            4,
+        );
         let (y, idx) = max_pool2d(&x, &Pool2dSpec::square(2)).unwrap();
         assert_eq!(y.as_slice(), &[5.0, 4.0, 2.0, 6.0]);
         assert_eq!(idx[0], 1); // position of the 5.0
@@ -350,12 +370,14 @@ mod tests {
 
     #[test]
     fn upsample_adjoint_property() {
-        let x = Tensor::from_fn(Shape::nchw(1, 2, 3, 3), |i| ((i * 23 % 11) as f32 - 5.0) * 0.1);
-        let y = Tensor::from_fn(Shape::nchw(1, 2, 6, 6), |i| ((i * 19 % 9) as f32 - 4.0) * 0.1);
+        let x = Tensor::from_fn(Shape::nchw(1, 2, 3, 3), |i| {
+            ((i * 23 % 11) as f32 - 5.0) * 0.1
+        });
+        let y = Tensor::from_fn(Shape::nchw(1, 2, 6, 6), |i| {
+            ((i * 19 % 9) as f32 - 4.0) * 0.1
+        });
         let lhs = upsample2d_nearest(&x, 2).unwrap().dot(&y).unwrap();
-        let rhs = x
-            .dot(&upsample2d_nearest_backward(&y, 2).unwrap())
-            .unwrap();
+        let rhs = x.dot(&upsample2d_nearest_backward(&y, 2).unwrap()).unwrap();
         assert!((lhs - rhs).abs() < 1e-4);
     }
 

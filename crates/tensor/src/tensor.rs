@@ -584,10 +584,7 @@ mod tests {
     fn shape_mismatch_is_an_error_not_a_panic() {
         let a = t(&[1.0, 2.0], &[2]);
         let b = t(&[1.0, 2.0], &[2, 1]);
-        assert!(matches!(
-            a.add(&b),
-            Err(TensorError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(a.add(&b), Err(TensorError::ShapeMismatch { .. })));
     }
 
     #[test]

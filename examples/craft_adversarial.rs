@@ -50,10 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let label = vec![test.labels()[idx]];
 
     let attacks: Vec<(&str, Box<dyn Attack>)> = vec![
-        (
-            "FGSM",
-            Box::new(Fgsm::new(0.15)?),
-        ),
+        ("FGSM", Box::new(Fgsm::new(0.15)?)),
         (
             "DeepFool",
             Box::new(DeepFool::new(DeepFoolConfig::default())?),

@@ -82,8 +82,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             aes.ae_two.clone(),
             ReconstructionNorm::L1,
         )),
-        Box::new(JsdDetector::new(aes.ae_one.clone(), classifier.clone(), 10.0)?),
-        Box::new(JsdDetector::new(aes.ae_one.clone(), classifier.clone(), 40.0)?),
+        Box::new(JsdDetector::new(
+            aes.ae_one.clone(),
+            classifier.clone(),
+            10.0,
+        )?),
+        Box::new(JsdDetector::new(
+            aes.ae_one.clone(),
+            classifier.clone(),
+            40.0,
+        )?),
     ];
 
     println!(

@@ -10,9 +10,7 @@
 use magnet_l1::attacks::{Attack, DecisionRule, EadConfig, ElasticNetAttack};
 use magnet_l1::data::synth::mnist_like;
 use magnet_l1::magnet::graybox::ReformedModel;
-use magnet_l1::magnet::variants::{
-    assemble_mnist_defense, train_mnist_autoencoders, TrainSpec,
-};
+use magnet_l1::magnet::variants::{assemble_mnist_defense, train_mnist_autoencoders, TrainSpec};
 use magnet_l1::magnet::DefenseScheme;
 use magnet_l1::nn::optim::Adam;
 use magnet_l1::nn::train::{fit_classifier, gather0, TrainConfig};
@@ -47,14 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         train.images(),
     )?;
-    let mut defense = assemble_mnist_defense(
-        "default",
-        &aes,
-        &classifier,
-        &[],
-        test.images(),
-        0.01,
-    )?;
+    let defense = assemble_mnist_defense("default", &aes, &classifier, &[], test.images(), 0.01)?;
 
     // Select correctly classified victims.
     let preds = classifier.predict(test.images())?;

@@ -7,9 +7,7 @@
 
 use magnet_l1::attacks::{Attack, DecisionRule, EadConfig, ElasticNetAttack};
 use magnet_l1::data::synth::mnist_like;
-use magnet_l1::magnet::variants::{
-    assemble_mnist_defense, train_mnist_autoencoders, TrainSpec,
-};
+use magnet_l1::magnet::variants::{assemble_mnist_defense, train_mnist_autoencoders, TrainSpec};
 use magnet_l1::magnet::DefenseScheme;
 use magnet_l1::nn::optim::Adam;
 use magnet_l1::nn::train::{fit_classifier, gather0, TrainConfig};
@@ -32,7 +30,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         label_smoothing: 0.0,
         verbose: true,
     };
-    fit_classifier(&mut classifier, &mut opt, train.images(), train.labels(), &cfg)?;
+    fit_classifier(
+        &mut classifier,
+        &mut opt,
+        train.images(),
+        train.labels(),
+        &cfg,
+    )?;
 
     // 3. Default MagNet: two auto-encoders, two reconstruction detectors,
     //    reformer, thresholds calibrated at 2% FPR on held-out data.
@@ -41,14 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..TrainSpec::default()
     };
     let aes = train_mnist_autoencoders(1, &spec, train.images())?;
-    let mut defense = assemble_mnist_defense(
-        "default",
-        &aes,
-        &classifier,
-        &[],
-        test.images(),
-        0.02,
-    )?;
+    let defense = assemble_mnist_defense("default", &aes, &classifier, &[], test.images(), 0.02)?;
 
     // 4. Attack 16 correctly classified digits with EAD (oblivious setting:
     //    the attacker only ever sees the undefended classifier).

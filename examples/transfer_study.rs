@@ -36,12 +36,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut runner = SweepRunner::new(&zoo, scenario)?;
 
     let kappas = [0.0f32, 10.0, 20.0, 40.0];
-    println!("\n{:<22} {}", "attack", kappas.map(|k| format!("k={k:<5}")).join(" "));
+    println!(
+        "\n{:<22} {}",
+        "attack",
+        kappas.map(|k| format!("k={k:<5}")).join(" ")
+    );
     for kind in AttackKind::figure_trio() {
         let mut cells = Vec::new();
         for &kappa in &kappas {
             let eval = runner.evaluate(&kind, kappa, &mut defense)?;
-            cells.push(format!("{:>5.1}%", eval.accuracy_for(DefenseScheme::Full) * 100.0));
+            cells.push(format!(
+                "{:>5.1}%",
+                eval.accuracy_for(DefenseScheme::Full) * 100.0
+            ));
         }
         println!("{:<22} {}", kind.label(), cells.join(" "));
     }

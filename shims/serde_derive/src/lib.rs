@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! The stand-in `serde` crate gives both traits blanket implementations, so
+//! the derives have nothing to emit — they only need to *exist* so that
+//! `#[derive(Serialize, Deserialize)]` parses, and to accept `#[serde(...)]`
+//! helper attributes.
+
+use proc_macro::TokenStream;
+
+/// Derives the (blanket-implemented) `Serialize` trait: expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives the (blanket-implemented) `Deserialize` trait: expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -81,7 +81,10 @@ fn detectors_compose_as_trait_objects() {
     )
     .unwrap();
     let detectors: Vec<Box<dyn Detector>> = vec![
-        Box::new(ReconstructionDetector::new(ae.clone(), ReconstructionNorm::L1)),
+        Box::new(ReconstructionDetector::new(
+            ae.clone(),
+            ReconstructionNorm::L1,
+        )),
         Box::new(ReconstructionDetector::new(ae, ReconstructionNorm::L2)),
     ];
     assert_eq!(detectors[0].name(), "recon-l1");

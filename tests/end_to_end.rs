@@ -70,9 +70,9 @@ fn attacks_fool_a_trained_cnn() {
     let ead = ElasticNetAttack::new(EadConfig {
         kappa: 0.0,
         beta: 0.01,
-        iterations: 40,
-        binary_search_steps: 3,
-        initial_c: 0.5,
+        iterations: 60,
+        binary_search_steps: 4,
+        initial_c: 1.0,
         rule: DecisionRule::ElasticNet,
         ..EadConfig::default()
     })
@@ -102,9 +102,9 @@ fn attacks_fool_a_trained_cnn() {
 
     let cw = CarliniWagnerL2::new(CwConfig {
         kappa: 0.0,
-        iterations: 40,
-        binary_search_steps: 3,
-        initial_c: 0.5,
+        iterations: 60,
+        binary_search_steps: 4,
+        initial_c: 1.0,
         ..CwConfig::default()
     })
     .unwrap();
@@ -132,8 +132,16 @@ fn adversarial_examples_stay_in_image_box() {
     ] {
         let attack = kind.build(5.0, zoo.scale()).unwrap();
         let outcome = attack.run(&mut clf, &set.images, &set.labels).unwrap();
-        assert!(outcome.adversarial.min() >= 0.0, "{} below box", kind.label());
-        assert!(outcome.adversarial.max() <= 1.0, "{} above box", kind.label());
+        assert!(
+            outcome.adversarial.min() >= 0.0,
+            "{} below box",
+            kind.label()
+        );
+        assert!(
+            outcome.adversarial.max() <= 1.0,
+            "{} above box",
+            kind.label()
+        );
     }
     std::fs::remove_dir_all(zoo.dir()).ok();
 }
@@ -152,7 +160,9 @@ fn full_oblivious_pipeline_runs_and_is_cached() {
     assert_eq!(e1.undefended_asr, e2.undefended_asr);
     assert!((0.0..=1.0).contains(&e1.accuracy_for(DefenseScheme::Full)));
     // The cache directory now holds exactly one attack file.
-    let files = std::fs::read_dir(zoo.dir().join("attacks")).unwrap().count();
+    let files = std::fs::read_dir(zoo.dir().join("attacks"))
+        .unwrap()
+        .count();
     assert_eq!(files, 1);
     std::fs::remove_dir_all(zoo.dir()).ok();
 }
@@ -182,13 +192,10 @@ fn defense_scheme_ordering_is_sane() {
     // On *clean* data the undefended scheme is at least as accurate as the
     // full scheme (detectors can only wrongly reject clean inputs).
     let zoo = temp_zoo("ordering");
-    let mut defense = zoo.defense(Scenario::Cifar, Variant::Default).unwrap();
+    let defense = zoo.defense(Scenario::Cifar, Variant::Default).unwrap();
     let data = zoo.data(Scenario::Cifar);
-    let x = magnet_l1::nn::train::gather0(
-        data.test.images(),
-        &(0..40).collect::<Vec<_>>(),
-    )
-    .unwrap();
+    let x =
+        magnet_l1::nn::train::gather0(data.test.images(), &(0..40).collect::<Vec<_>>()).unwrap();
     let labels = &data.test.labels()[..40];
     let none = defense.accuracy(&x, labels, DefenseScheme::None).unwrap();
     let full = defense.accuracy(&x, labels, DefenseScheme::Full).unwrap();
