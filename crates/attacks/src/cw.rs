@@ -9,9 +9,11 @@
 //! notice.
 
 use crate::attack::{Attack, AttackOutcome};
+use crate::ead::AttackObs;
 use crate::loss::{adversarial_margins, target_margins, targeted_hinge, untargeted_hinge};
 use crate::{AttackError, Result};
 use adv_nn::Differentiable;
+use adv_obs::Span;
 use adv_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -145,8 +147,13 @@ impl CarliniWagnerL2 {
         let mut best_l2sq = vec![f32::INFINITY; n];
         let mut best_adv = x0.clone();
         let mut ever_success = vec![false; n];
+        let obs = AttackObs::resolve("cw", "adam_iterations");
 
         for _step in 0..cfg.binary_search_steps {
+            let _step_span = Span::enter("cw/search_step");
+            if let Some(obs) = &obs {
+                obs.search_steps.incr();
+            }
             let mut w = w0.clone();
             // Fresh Adam state each binary-search step, as in the original.
             let mut m = Tensor::zeros(w.shape().clone());
@@ -155,6 +162,10 @@ impl CarliniWagnerL2 {
             let mut step_success = vec![false; n];
 
             for k in 0..=cfg.iterations {
+                let _iter_span = Span::enter("cw/adam_iter");
+                if let Some(obs) = &obs {
+                    obs.iterations.incr();
+                }
                 let x = w.map(|wi| 0.5 * (wi.tanh() + 1.0));
                 let logits = model.forward(&x)?;
                 let margins = if targeted {
@@ -223,6 +234,9 @@ impl CarliniWagnerL2 {
             }
         }
 
+        if let Some(obs) = &obs {
+            obs.record_run(n, &ever_success);
+        }
         AttackOutcome::from_images(x0, best_adv, ever_success)
     }
 }

@@ -20,8 +20,43 @@ use crate::attack::{Attack, AttackOutcome};
 use crate::loss::{adversarial_margins, target_margins, targeted_hinge, untargeted_hinge};
 use crate::{AttackError, Result};
 use adv_nn::Differentiable;
+use adv_obs::Span;
 use adv_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+
+/// Cached `adv-obs` counters for one attack run; `None` when metrics are
+/// disabled so the per-iteration path costs one relaxed load.
+pub(crate) struct AttackObs {
+    pub(crate) iterations: std::sync::Arc<adv_obs::Counter>,
+    pub(crate) search_steps: std::sync::Arc<adv_obs::Counter>,
+    pub(crate) examples: std::sync::Arc<adv_obs::Counter>,
+    pub(crate) converged: std::sync::Arc<adv_obs::Counter>,
+}
+
+impl AttackObs {
+    /// `kind` is `"ead"` or `"cw"`; `iter_name` names the inner loop
+    /// (`"ista_iterations"` / `"adam_iterations"`).
+    pub(crate) fn resolve(kind: &str, iter_name: &str) -> Option<AttackObs> {
+        if !adv_obs::metrics_enabled() {
+            return None;
+        }
+        let r = adv_obs::global();
+        Some(AttackObs {
+            iterations: r.counter(&format!("{kind}.{iter_name}")),
+            search_steps: r.counter(&format!("{kind}.binary_search_steps")),
+            examples: r.counter(&format!("{kind}.examples")),
+            converged: r.counter(&format!("{kind}.converged")),
+        })
+    }
+
+    /// Records run totals: `n` examples attacked, `success` flags per
+    /// example at the end of the search.
+    pub(crate) fn record_run(&self, n: usize, success: &[bool]) {
+        self.examples.add(n as u64);
+        self.converged
+            .add(success.iter().filter(|&&s| s).count() as u64);
+    }
+}
 
 /// How EAD selects the final adversarial example among successful iterates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -212,8 +247,13 @@ impl ElasticNetAttack {
         let mut best_dist = vec![f32::INFINITY; n];
         let mut best_adv = x0.clone();
         let mut ever_success = vec![false; n];
+        let obs = AttackObs::resolve("ead", "ista_iterations");
 
         for _step in 0..cfg.binary_search_steps {
+            let _step_span = Span::enter("ead/search_step");
+            if let Some(obs) = &obs {
+                obs.search_steps.incr();
+            }
             let mut x = x0.clone();
             // FISTA state: the extrapolated point y and momentum scalar t.
             let mut y = x.clone();
@@ -221,6 +261,10 @@ impl ElasticNetAttack {
             let mut step_success = vec![false; n];
 
             for k in 0..=cfg.iterations {
+                let _iter_span = Span::enter("ead/ista_iter");
+                if let Some(obs) = &obs {
+                    obs.iterations.incr();
+                }
                 let logits = model.forward(&x)?;
                 // Record successful iterates (including the final one).
                 let margins = if targeted {
@@ -308,6 +352,9 @@ impl ElasticNetAttack {
             }
         }
 
+        if let Some(obs) = &obs {
+            obs.record_run(n, &ever_success);
+        }
         AttackOutcome::from_images(x0, best_adv, ever_success)
     }
 }

@@ -4,11 +4,13 @@
 use adv_attacks::{Attack, DecisionRule, EadConfig, ElasticNetAttack};
 use adv_eval::config::CliArgs;
 use adv_eval::experiment::select_attack_set;
+use adv_eval::obs::ObsSession;
 use adv_eval::zoo::{Scenario, Zoo};
 use adv_nn::Mode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CliArgs::from_env();
+    let obs = ObsSession::from_args(&args);
     let zoo = Zoo::new(&args.models_dir, args.scale);
     for scenario in [Scenario::Mnist, Scenario::Cifar] {
         let mut clf = zoo.classifier(scenario)?;
@@ -51,6 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 t0.elapsed()
             );
         }
+    }
+    if let Some(obs) = obs {
+        obs.finish()?;
     }
     Ok(())
 }

@@ -3,12 +3,14 @@
 
 use adv_eval::config::CliArgs;
 use adv_eval::experiment::successful_examples;
+use adv_eval::obs::ObsSession;
 use adv_eval::sweep::{AttackKind, SweepRunner};
 use adv_eval::zoo::{Scenario, Variant, Zoo};
 use adv_magnet::DefenseScheme;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CliArgs::from_env();
+    let obs = ObsSession::from_args(&args);
     let zoo = Zoo::new(&args.models_dir, args.scale);
     for scenario in [Scenario::Mnist, Scenario::Cifar] {
         println!("\n########## {} ##########", scenario.name());
@@ -43,6 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 );
             }
         }
+    }
+    if let Some(obs) = obs {
+        obs.finish()?;
     }
     Ok(())
 }

@@ -20,6 +20,7 @@ use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CliArgs::from_env();
+    let obs = adv_eval::obs::ObsSession::from_args(&args);
     let zoo = Zoo::new(&args.models_dir, args.scale);
     let out = &args.out_dir;
     let t_total = Instant::now();
@@ -208,5 +209,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "All tables and figures regenerated in {:.1?}. CSVs in {out}/.",
         t_total.elapsed()
     );
+    if let Some(obs) = obs {
+        obs.finish()?;
+    }
     Ok(())
 }

@@ -136,6 +136,7 @@ fn run_served(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = CliArgs::from_env();
+    let obs = adv_eval::obs::ObsSession::from_args(&args);
     args.scale.attack_count = PER_ATTACK;
     let zoo = Zoo::new(&args.models_dir, args.scale);
     let mut runner = SweepRunner::new(&zoo, Scenario::Mnist)?;
@@ -190,5 +191,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\noverall: serial {total:.2?} vs served {total_served:.2?} ({:.2}x)",
         total.as_secs_f64() / total_served.as_secs_f64()
     );
+    if let Some(obs) = obs {
+        obs.finish()?;
+    }
     Ok(())
 }

@@ -3,18 +3,24 @@
 //! default `quick` constants stay honest on the target machine.
 
 use adv_eval::config::CliArgs;
+use adv_eval::obs::ObsSession;
 use adv_eval::sweep::{AttackKind, SweepRunner};
 use adv_eval::zoo::{Scenario, Variant, Zoo};
+use adv_obs::Span;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = CliArgs::from_env();
+    let obs = ObsSession::from_args(&args);
     let zoo = Zoo::new(&args.models_dir, args.scale);
     println!("scale: {:?}", zoo.scale());
 
     for scenario in [Scenario::Mnist, Scenario::Cifar] {
         let t0 = Instant::now();
-        let bundle = zoo.bundle(scenario)?;
+        let bundle = {
+            let _span = Span::enter("probe/bundle");
+            zoo.bundle(scenario)?
+        };
         println!(
             "{}: classifier ready in {:.1?}; clean accuracy {:.1}%",
             scenario.name(),
@@ -23,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
 
         let t0 = Instant::now();
-        let _defense = zoo.defense(scenario, Variant::Default)?;
+        {
+            let _span = Span::enter("probe/defense");
+            let _defense = zoo.defense(scenario, Variant::Default)?;
+        }
         println!(
             "{}: default defense in {:.1?}",
             scenario.name(),
@@ -36,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rule: adv_attacks::DecisionRule::ElasticNet,
             beta: 0.01,
         };
-        let outcome = runner.outcome(&kind, 10.0)?;
+        let outcome = {
+            let _span = Span::enter("probe/ead");
+            runner.outcome(&kind, 10.0)?
+        };
         println!(
             "{}: one EAD run ({} images) in {:.1?}; undefended ASR {:.1}%",
             scenario.name(),
@@ -46,13 +58,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
 
         let t0 = Instant::now();
-        let cw = runner.outcome(&AttackKind::Cw, 10.0)?;
+        let cw = {
+            let _span = Span::enter("probe/cw");
+            runner.outcome(&AttackKind::Cw, 10.0)?
+        };
         println!(
             "{}: one C&W run in {:.1?}; undefended ASR {:.1}%",
             scenario.name(),
             t0.elapsed(),
             cw.success_rate() * 100.0
         );
+    }
+    if let Some(obs) = obs {
+        obs.finish()?;
     }
     Ok(())
 }

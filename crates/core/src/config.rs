@@ -206,7 +206,8 @@ impl Default for Scale {
 /// Parses the common CLI arguments of the experiment binaries.
 ///
 /// Recognized: `--scale <name>`, `--n <attack_count>`, `--iters <n>`,
-/// `--seed <n>`, `--fine` (paper κ grids), `--models <dir>`, `--out <dir>`.
+/// `--seed <n>`, `--fine` (paper κ grids), `--models <dir>`, `--out <dir>`,
+/// `--obs <dir>` (dump telemetry artifacts; see [`crate::obs::ObsSession`]).
 #[derive(Debug, Clone)]
 pub struct CliArgs {
     /// Resolved scale.
@@ -215,6 +216,9 @@ pub struct CliArgs {
     pub models_dir: String,
     /// Result output directory.
     pub out_dir: String,
+    /// Observability artifact directory (`--obs`); `None` leaves telemetry
+    /// at whatever `ADV_OBS` selects (off by default).
+    pub obs_dir: Option<String>,
 }
 
 impl CliArgs {
@@ -227,6 +231,7 @@ impl CliArgs {
         let mut scale = Scale::quick();
         let mut models_dir = "models".to_string();
         let mut out_dir = "results".to_string();
+        let mut obs_dir = None;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             let mut next = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
@@ -255,6 +260,7 @@ impl CliArgs {
                 }
                 "--models" => models_dir = next("--models")?,
                 "--out" => out_dir = next("--out")?,
+                "--obs" => obs_dir = Some(next("--obs")?),
                 other => return Err(format!("unknown argument '{other}'")),
             }
         }
@@ -262,6 +268,7 @@ impl CliArgs {
             scale,
             models_dir,
             out_dir,
+            obs_dir,
         })
     }
 
@@ -273,7 +280,7 @@ impl CliArgs {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: [--scale smoke|quick|paper] [--n N] [--iters N] [--seed N] [--fine] [--models DIR] [--out DIR]"
+                    "usage: [--scale smoke|quick|paper] [--n N] [--iters N] [--seed N] [--fine] [--models DIR] [--out DIR] [--obs DIR]"
                 );
                 std::process::exit(2);
             }
@@ -315,15 +322,23 @@ mod tests {
     #[test]
     fn cli_parsing() {
         let args = CliArgs::parse(
-            ["--scale", "smoke", "--n", "5", "--seed", "7", "--out", "o"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--scale", "smoke", "--n", "5", "--seed", "7", "--out", "o", "--obs", "obs_out",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         )
         .unwrap();
         assert_eq!(args.scale.attack_count, 5);
         assert_eq!(args.scale.seed, 7);
         assert_eq!(args.out_dir, "o");
+        assert_eq!(args.obs_dir.as_deref(), Some("obs_out"));
+        assert!(CliArgs::parse(std::iter::empty())
+            .unwrap()
+            .obs_dir
+            .is_none());
         assert!(CliArgs::parse(["--scale".to_string()]).is_err());
+        assert!(CliArgs::parse(["--obs".to_string()]).is_err());
         assert!(CliArgs::parse(["--bogus".to_string()]).is_err());
         assert!(CliArgs::parse(["--scale".to_string(), "huge".to_string()]).is_err());
     }

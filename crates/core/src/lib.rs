@@ -30,6 +30,7 @@ pub mod cache;
 pub mod config;
 pub mod experiment;
 pub mod figures;
+pub mod obs;
 pub mod parallel;
 pub mod plot;
 pub mod render;

@@ -1,0 +1,124 @@
+//! `--obs` session support for the experiment binaries.
+//!
+//! An [`ObsSession`] turns on full telemetry (metrics + spans) for the
+//! process, and at experiment end dumps three artifacts into the chosen
+//! directory:
+//!
+//! * `metrics.json` — the global registry snapshot as JSON;
+//! * `metrics.prom` — the same snapshot in Prometheus text format;
+//! * `trace.jsonl` — one span event per line;
+//!
+//! plus a self-time/total-time summary table printed to stderr, with each
+//! span's share of the session's wall-clock.
+//!
+//! An explicit `ADV_OBS=off|metrics|trace` environment override wins over
+//! the flag, so a run can keep `--obs out/` in its command line while
+//! telemetry is dialed down externally.
+
+use crate::config::CliArgs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// A live observability session: level raised at construction, artifacts
+/// written by [`finish`](ObsSession::finish).
+#[derive(Debug)]
+pub struct ObsSession {
+    dir: PathBuf,
+    started: Instant,
+}
+
+impl ObsSession {
+    /// Starts a session when the `--obs <dir>` flag was given.
+    pub fn from_args(args: &CliArgs) -> Option<ObsSession> {
+        args.obs_dir.as_deref().map(ObsSession::start)
+    }
+
+    /// Starts a session dumping into `dir`.
+    ///
+    /// Raises the process level to [`adv_obs::ObsLevel::Trace`] unless the
+    /// `ADV_OBS` environment variable is set, which then takes precedence.
+    pub fn start(dir: impl Into<PathBuf>) -> ObsSession {
+        if std::env::var_os("ADV_OBS").is_none() {
+            adv_obs::set_level(adv_obs::ObsLevel::Trace);
+        }
+        ObsSession {
+            dir: dir.into(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The artifact directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// Writes `metrics.json`, `metrics.prom` and `trace.jsonl` into the
+    /// session directory, prints the span summary table to stderr, and
+    /// returns the written paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating the directory or writing the
+    /// artifacts.
+    pub fn finish(self) -> std::io::Result<Vec<PathBuf>> {
+        let wall = self.started.elapsed();
+        adv_obs::trace::flush_current_thread();
+        std::fs::create_dir_all(&self.dir)?;
+        let snapshot = adv_obs::global().snapshot();
+        let mut written = Vec::with_capacity(3);
+        for (name, content) in [
+            ("metrics.json", snapshot.to_json()),
+            ("metrics.prom", snapshot.to_prometheus()),
+        ] {
+            let path = self.dir.join(name);
+            std::fs::write(&path, content)?;
+            written.push(path);
+        }
+        let (events, summaries) = adv_obs::trace::drain();
+        let path = self.dir.join("trace.jsonl");
+        std::fs::write(&path, adv_obs::trace::events_to_jsonl(&events))?;
+        written.push(path);
+        if !summaries.is_empty() {
+            eprintln!("\n{}", adv_obs::trace::render_summary(&summaries, wall));
+        }
+        eprintln!(
+            "observability artifacts written to {} ({} span events)",
+            self.dir.display(),
+            events.len()
+        );
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_args_requires_the_flag() {
+        let args = CliArgs::parse(std::iter::empty()).unwrap();
+        assert!(ObsSession::from_args(&args).is_none());
+    }
+
+    #[test]
+    fn finish_writes_all_artifacts() {
+        // Level-changing test: other adv-eval tests don't toggle the level,
+        // and this one only raises it for its own duration.
+        let before = adv_obs::level();
+        let dir = std::env::temp_dir().join(format!("adv_obs_session_{}", std::process::id()));
+        let session = ObsSession::start(&dir);
+        adv_obs::set_level(adv_obs::ObsLevel::Trace);
+        {
+            let _span = adv_obs::Span::enter("test/obs_session");
+            adv_obs::global().counter("test.obs_session").incr();
+        }
+        let written = session.finish().unwrap();
+        adv_obs::set_level(before);
+        assert_eq!(written.len(), 3);
+        let json = std::fs::read_to_string(dir.join("metrics.json")).unwrap();
+        assert!(json.contains("test.obs_session"));
+        let trace = std::fs::read_to_string(dir.join("trace.jsonl")).unwrap();
+        assert!(trace.contains("test/obs_session"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -3,8 +3,24 @@ use crate::detector::Detector;
 use crate::fused::InferenceCache;
 use crate::Result;
 use adv_nn::Sequential;
+use adv_obs::Span;
 use adv_tensor::Tensor;
 use std::time::Duration;
+
+/// Records pipeline verdict counters when metrics are enabled. The
+/// instrumentation only bumps atomics; verdicts are never altered.
+fn record_verdicts(verdicts: &[Verdict]) {
+    if !adv_obs::metrics_enabled() {
+        return;
+    }
+    let r = adv_obs::global();
+    r.counter("magnet.verdicts").add(verdicts.len() as u64);
+    let detected = verdicts
+        .iter()
+        .filter(|v| matches!(v, Verdict::Detected))
+        .count();
+    r.counter("magnet.detected").add(detected as u64);
+}
 
 /// Which parts of MagNet are active — the four defense schemes compared in
 /// the paper's supplementary figures.
@@ -202,6 +218,7 @@ impl MagnetDefense {
         let t0 = std::time::Instant::now();
         let detected = match scheme {
             DefenseScheme::DetectorOnly | DefenseScheme::Full => {
+                let _span = Span::enter("magnet/detect");
                 let d = self.detect(x)?;
                 timings.detect = t0.elapsed();
                 d
@@ -212,6 +229,7 @@ impl MagnetDefense {
         let t1 = std::time::Instant::now();
         let input = match scheme {
             DefenseScheme::ReformerOnly | DefenseScheme::Full => {
+                let _span = Span::enter("magnet/reform");
                 let r = self.reform(x)?;
                 timings.reform = t1.elapsed();
                 r
@@ -220,10 +238,13 @@ impl MagnetDefense {
         };
 
         let t2 = std::time::Instant::now();
-        let preds = self.classifier.predict_shared(&input)?;
+        let preds = {
+            let _span = Span::enter("magnet/classify");
+            self.classifier.predict_shared(&input)?
+        };
         timings.classify = t2.elapsed();
 
-        let verdicts = detected
+        let verdicts: Vec<Verdict> = detected
             .into_iter()
             .zip(preds)
             .map(|(d, p)| {
@@ -234,6 +255,7 @@ impl MagnetDefense {
                 }
             })
             .collect();
+        record_verdicts(&verdicts);
         Ok((verdicts, timings))
     }
 
@@ -265,6 +287,7 @@ impl MagnetDefense {
         let t0 = std::time::Instant::now();
         let detected = match scheme {
             DefenseScheme::DetectorOnly | DefenseScheme::Full => {
+                let _span = Span::enter("magnet/detect");
                 let mut combined = vec![false; n];
                 for det in &self.detectors {
                     for (c, f) in combined.iter_mut().zip(det.flags_fused(x, &mut cache)?) {
@@ -280,6 +303,7 @@ impl MagnetDefense {
         let t1 = std::time::Instant::now();
         let input = match scheme {
             DefenseScheme::ReformerOnly | DefenseScheme::Full => {
+                let _span = Span::enter("magnet/reform");
                 let r = cache.reconstruction(&self.reformer, x)?;
                 timings.reform = t1.elapsed();
                 r
@@ -288,11 +312,14 @@ impl MagnetDefense {
         };
 
         let t2 = std::time::Instant::now();
-        let logits = cache.logits(&self.classifier, &input)?;
-        let preds = logits.argmax_rows()?;
+        let preds = {
+            let _span = Span::enter("magnet/classify");
+            let logits = cache.logits(&self.classifier, &input)?;
+            logits.argmax_rows()?
+        };
         timings.classify = t2.elapsed();
 
-        let verdicts = detected
+        let verdicts: Vec<Verdict> = detected
             .into_iter()
             .zip(preds)
             .map(|(d, p)| {
@@ -303,6 +330,7 @@ impl MagnetDefense {
                 }
             })
             .collect();
+        record_verdicts(&verdicts);
         Ok((verdicts, timings))
     }
 

@@ -8,6 +8,22 @@ use adv_nn::Sequential;
 use adv_tensor::Tensor;
 use std::fmt;
 
+/// Feeds per-item anomaly scores into the global `adv-obs` registry under
+/// `magnet.detector_score.<name>` (score-ladder buckets). No-op unless
+/// metrics are enabled; never alters the scores.
+fn record_scores(name: &str, scores: &[f32]) {
+    if !adv_obs::metrics_enabled() {
+        return;
+    }
+    let hist = adv_obs::global().histogram_with(
+        &format!("magnet.detector_score.{name}"),
+        adv_obs::SCORE_BOUNDS,
+    );
+    for &s in scores {
+        hist.record(f64::from(s));
+    }
+}
+
 /// Which norm a reconstruction-error detector uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReconstructionNorm {
@@ -51,6 +67,7 @@ pub trait Detector: Send + Sync + fmt::Debug {
     /// inputs.
     fn calibrate(&mut self, clean: &Tensor, fpr: f32) -> Result<f32> {
         let scores = self.scores(clean)?;
+        record_scores(&self.name(), &scores);
         let t = threshold_for_fpr(&scores, fpr)?;
         self.set_threshold(t);
         Ok(t)
@@ -66,7 +83,9 @@ pub trait Detector: Send + Sync + fmt::Debug {
         let threshold = self.threshold().ok_or_else(|| MagnetError::Uncalibrated {
             detector: self.name(),
         })?;
-        Ok(self.scores(x)?.into_iter().map(|s| s > threshold).collect())
+        let scores = self.scores(x)?;
+        record_scores(&self.name(), &scores);
+        Ok(scores.into_iter().map(|s| s > threshold).collect())
     }
 
     /// Like [`scores`](Self::scores), but allowed to reuse sub-computations
@@ -93,11 +112,9 @@ pub trait Detector: Send + Sync + fmt::Debug {
         let threshold = self.threshold().ok_or_else(|| MagnetError::Uncalibrated {
             detector: self.name(),
         })?;
-        Ok(self
-            .scores_fused(x, cache)?
-            .into_iter()
-            .map(|s| s > threshold)
-            .collect())
+        let scores = self.scores_fused(x, cache)?;
+        record_scores(&self.name(), &scores);
+        Ok(scores.into_iter().map(|s| s > threshold).collect())
     }
 }
 

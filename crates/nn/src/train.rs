@@ -8,10 +8,57 @@
 use crate::loss::{accuracy, softmax_cross_entropy_smoothed, ReconstructionLoss};
 use crate::optim::Optimizer;
 use crate::{Mode, NnError, Result, Sequential};
+use adv_obs::Span;
 use adv_tensor::{Shape, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Cached `adv-obs` handles for one training loop, resolved once so the
+/// per-batch path never touches the registry map. `None` when metrics are
+/// disabled; recording never perturbs the numerics (it only reads clocks
+/// and bumps atomics).
+struct TrainObs {
+    loss: std::sync::Arc<adv_obs::Gauge>,
+    accuracy: std::sync::Arc<adv_obs::Gauge>,
+    epochs: std::sync::Arc<adv_obs::Counter>,
+    batches: std::sync::Arc<adv_obs::Counter>,
+    epoch_ns: std::sync::Arc<adv_obs::Histogram>,
+    batch_ns: std::sync::Arc<adv_obs::Histogram>,
+}
+
+impl TrainObs {
+    /// `kind` is `"classifier"` or `"autoencoder"`.
+    fn resolve(kind: &str) -> Option<TrainObs> {
+        if !adv_obs::metrics_enabled() {
+            return None;
+        }
+        let r = adv_obs::global();
+        Some(TrainObs {
+            loss: r.gauge(&format!("train.{kind}.loss")),
+            accuracy: r.gauge(&format!("train.{kind}.accuracy")),
+            epochs: r.counter(&format!("train.{kind}.epochs")),
+            batches: r.counter(&format!("train.{kind}.batches")),
+            epoch_ns: r.histogram(&format!("train.{kind}.epoch_ns")),
+            batch_ns: r.histogram(&format!("train.{kind}.batch_ns")),
+        })
+    }
+
+    fn record_batch(&self, started: Instant) {
+        self.batches.incr();
+        self.batch_ns.record_duration(started.elapsed());
+    }
+
+    fn record_epoch(&self, started: Instant, loss: f32, accuracy: Option<f32>) {
+        self.epochs.incr();
+        self.epoch_ns.record_duration(started.elapsed());
+        self.loss.set(loss as f64);
+        if let Some(acc) = accuracy {
+            self.accuracy.set(acc as f64);
+        }
+    }
+}
 
 /// Hyperparameters of a training run.
 #[derive(Debug, Clone)]
@@ -112,15 +159,20 @@ pub fn fit_classifier(
             actual: labels.len(),
         }));
     }
+    let obs = TrainObs::resolve("classifier");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..n).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        let _epoch_span = Span::enter("train/epoch");
+        let epoch_start = Instant::now();
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0f32;
         let mut acc_sum = 0.0f32;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
+            let _batch_span = Span::enter("train/batch");
+            let batch_start = Instant::now();
             let xb = gather0(x, chunk)?;
             let yb: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
             let logits = net.forward(&xb, Mode::Train)?;
@@ -130,12 +182,18 @@ pub fn fit_classifier(
             opt.step(&mut net.params_mut())?;
             loss_sum += loss;
             batches += 1;
+            if let Some(obs) = &obs {
+                obs.record_batch(batch_start);
+            }
         }
         let stats = EpochStats {
             epoch,
             loss: loss_sum / batches as f32,
             accuracy: Some(acc_sum / batches as f32),
         };
+        if let Some(obs) = &obs {
+            obs.record_epoch(epoch_start, stats.loss, stats.accuracy);
+        }
         if cfg.verbose {
             eprintln!(
                 "epoch {:>3}: loss {:.4}, acc {:.3}",
@@ -268,14 +326,19 @@ pub fn fit_autoencoder_with(
     cfg: &TrainConfig,
 ) -> Result<Vec<EpochStats>> {
     let n = check_nonempty(x, cfg)?;
+    let obs = TrainObs::resolve("autoencoder");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..n).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        let _epoch_span = Span::enter("train/epoch");
+        let epoch_start = Instant::now();
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0f32;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
+            let _batch_span = Span::enter("train/batch");
+            let batch_start = Instant::now();
             let clean = gather0(x, chunk)?;
             let input = corruption.apply(&clean, &mut rng);
             let recon = net.forward(&input, Mode::Train)?;
@@ -284,12 +347,18 @@ pub fn fit_autoencoder_with(
             opt.step(&mut net.params_mut())?;
             loss_sum += loss;
             batches += 1;
+            if let Some(obs) = &obs {
+                obs.record_batch(batch_start);
+            }
         }
         let stats = EpochStats {
             epoch,
             loss: loss_sum / batches as f32,
             accuracy: None,
         };
+        if let Some(obs) = &obs {
+            obs.record_epoch(epoch_start, stats.loss, stats.accuracy);
+        }
         if cfg.verbose {
             eprintln!("epoch {:>3}: recon loss {:.6}", epoch, stats.loss);
         }

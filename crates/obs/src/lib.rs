@@ -1,0 +1,180 @@
+//! adv-obs: structured observability for the whole reproduction stack.
+//!
+//! The crate has two halves, both dependency-free and safe to leave compiled
+//! into release binaries:
+//!
+//! * [`registry`] — a lock-light **metrics registry**: named [`Counter`]s,
+//!   [`Gauge`]s and fixed-bucket [`Histogram`]s behind an [`Arc<Registry>`].
+//!   Handles are plain atomics; the registry mutex is touched only at
+//!   registration and snapshot time. A [`Snapshot`] can be exported as
+//!   Prometheus text format or JSON.
+//! * [`trace`] — a **span tracer**: [`Span::enter`] returns an RAII guard
+//!   that records a timing event into a per-thread buffer, drained into a
+//!   global sink. The sink yields a JSON-lines event stream plus a
+//!   self-time/total-time summary table (children's time is subtracted from
+//!   their parent's self time).
+//!
+//! # Enabling telemetry
+//!
+//! Everything is gated on a process-wide [`ObsLevel`]:
+//!
+//! * [`ObsLevel::Off`] (default) — every instrumentation point is a no-op:
+//!   one relaxed atomic load and a predictable branch, verified by the
+//!   `obs_overhead` bench. Numerical results are never affected at any
+//!   level; instrumentation only reads clocks and bumps atomics.
+//! * [`ObsLevel::Metrics`] — counters/gauges/histograms record.
+//! * [`ObsLevel::Trace`] — metrics plus span events.
+//!
+//! The level comes from the `ADV_OBS` environment variable
+//! (`off|metrics|trace`, read once on first use) so library users can turn
+//! telemetry on without plumbing flags, or programmatically via
+//! [`set_level`] (the experiment binaries' `--obs` flag does this).
+//!
+//! [`Arc<Registry>`]: std::sync::Arc
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, DURATION_BOUNDS_NS,
+    SCORE_BOUNDS,
+};
+pub use trace::{Span, SpanGuard, SpanSummary, TraceEvent};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// How much telemetry the process records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum ObsLevel {
+    /// No telemetry; every instrumentation point is a no-op.
+    Off = 0,
+    /// Counters, gauges and histograms record; spans are no-ops.
+    Metrics = 1,
+    /// Metrics plus span events.
+    Trace = 2,
+}
+
+impl ObsLevel {
+    /// Parses `"off"`, `"metrics"` or `"trace"` (case-insensitive).
+    pub fn from_name(name: &str) -> Option<ObsLevel> {
+        match name.to_ascii_lowercase().as_str() {
+            "off" | "0" | "false" => Some(ObsLevel::Off),
+            "metrics" | "1" => Some(ObsLevel::Metrics),
+            "trace" | "2" => Some(ObsLevel::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// Sentinel meaning "not yet initialised from `ADV_OBS`".
+const LEVEL_UNSET: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+fn decode(v: u8) -> ObsLevel {
+    match v {
+        1 => ObsLevel::Metrics,
+        2 => ObsLevel::Trace,
+        _ => ObsLevel::Off,
+    }
+}
+
+#[cold]
+fn init_level_from_env() -> ObsLevel {
+    let from_env = std::env::var("ADV_OBS")
+        .ok()
+        .and_then(|v| ObsLevel::from_name(&v))
+        .unwrap_or(ObsLevel::Off);
+    // Keep an explicit `set_level` that raced ahead of us.
+    let _ = LEVEL.compare_exchange(
+        LEVEL_UNSET,
+        from_env as u8,
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    decode(LEVEL.load(Ordering::Relaxed))
+}
+
+/// The current telemetry level (initialised from `ADV_OBS` on first call).
+#[inline]
+pub fn level() -> ObsLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        LEVEL_UNSET => init_level_from_env(),
+        v => decode(v),
+    }
+}
+
+/// Overrides the telemetry level for the whole process.
+pub fn set_level(level: ObsLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// `true` when counters/gauges/histograms should record.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    level() >= ObsLevel::Metrics
+}
+
+/// `true` when spans should record events.
+#[inline]
+pub fn trace_enabled() -> bool {
+    level() >= ObsLevel::Trace
+}
+
+/// The process-wide registry shared by all instrumented crates.
+///
+/// Instrumentation points write here when [`metrics_enabled`]; subsystems
+/// that always need metrics regardless of level (e.g. the serving engine)
+/// create their own [`Registry`] instead.
+pub fn global() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(Registry::new()))
+}
+
+#[cfg(test)]
+pub(crate) fn test_level_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_names_parse() {
+        assert_eq!(ObsLevel::from_name("off"), Some(ObsLevel::Off));
+        assert_eq!(ObsLevel::from_name("Metrics"), Some(ObsLevel::Metrics));
+        assert_eq!(ObsLevel::from_name("TRACE"), Some(ObsLevel::Trace));
+        assert_eq!(ObsLevel::from_name("verbose"), None);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(ObsLevel::Off < ObsLevel::Metrics);
+        assert!(ObsLevel::Metrics < ObsLevel::Trace);
+    }
+
+    #[test]
+    fn set_level_controls_gates() {
+        let _guard = test_level_lock();
+        let before = level();
+        set_level(ObsLevel::Off);
+        assert!(!metrics_enabled() && !trace_enabled());
+        set_level(ObsLevel::Metrics);
+        assert!(metrics_enabled() && !trace_enabled());
+        set_level(ObsLevel::Trace);
+        assert!(metrics_enabled() && trace_enabled());
+        set_level(before);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        assert!(Arc::ptr_eq(global(), global()));
+    }
+}

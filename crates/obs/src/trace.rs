@@ -1,0 +1,508 @@
+//! Span-based tracing: RAII guards feeding per-thread buffers, drained into
+//! a process-wide sink.
+//!
+//! [`Span::enter`] pushes a frame on the current thread's span stack and
+//! returns a guard; dropping the guard records a [`TraceEvent`] with the
+//! span's wall-clock interval and updates the per-name self-time/total-time
+//! aggregate (a child's total is subtracted from its parent's self time, so
+//! the summary attributes every nanosecond to exactly one span). Events are
+//! flushed to the global sink in batches; the sink caps the buffered event
+//! count and counts overflow drops, so hot loops can be traced without
+//! unbounded memory growth.
+//!
+//! When tracing is disabled ([`crate::trace_enabled`] is `false`),
+//! [`Span::enter`] is one relaxed atomic load — no clock read, no
+//! allocation.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Hard cap on events buffered in the global sink; later events are dropped
+/// (and counted) instead of growing without bound.
+pub const MAX_BUFFERED_EVENTS: usize = 1 << 20;
+
+/// Events a thread buffers locally before flushing to the global sink.
+const THREAD_FLUSH_THRESHOLD: usize = 4096;
+
+/// One completed span occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (static so hot loops never allocate).
+    pub name: &'static str,
+    /// Dense per-process thread index (not the OS thread id).
+    pub thread: u64,
+    /// Nesting depth at the time the span was entered (0 = top level).
+    pub depth: u32,
+    /// Start offset in nanoseconds from the process trace epoch.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// Aggregated timing of one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of completed occurrences.
+    pub count: u64,
+    /// Total wall-clock time inside the span (children included).
+    pub total: Duration,
+    /// Wall-clock time inside the span minus time inside child spans.
+    pub self_time: Duration,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SpanStat {
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+}
+
+struct Frame {
+    name: &'static str,
+    start: Instant,
+    child_ns: u64,
+}
+
+struct ThreadBuf {
+    id: u64,
+    stack: Vec<Frame>,
+    events: Vec<TraceEvent>,
+    stats: HashMap<&'static str, SpanStat>,
+}
+
+impl ThreadBuf {
+    fn new() -> ThreadBuf {
+        static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+        ThreadBuf {
+            id: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+            stack: Vec::new(),
+            events: Vec::new(),
+            stats: HashMap::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        let sink = sink();
+        if !self.events.is_empty() {
+            let mut events = sink.events.lock().expect("trace sink poisoned");
+            let room = MAX_BUFFERED_EVENTS.saturating_sub(events.len());
+            if self.events.len() > room {
+                sink.dropped
+                    .fetch_add((self.events.len() - room) as u64, Ordering::Relaxed);
+            }
+            events.extend(self.events.drain(..).take(room));
+        }
+        if !self.stats.is_empty() {
+            let mut stats = sink.stats.lock().expect("trace sink poisoned");
+            for (name, s) in self.stats.drain() {
+                let agg = stats.entry(name).or_default();
+                agg.count += s.count;
+                agg.total_ns += s.total_ns;
+                agg.self_ns += s.self_ns;
+            }
+        }
+    }
+}
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static THREAD_BUF: RefCell<ThreadBuf> = RefCell::new(ThreadBuf::new());
+}
+
+struct Sink {
+    events: Mutex<Vec<TraceEvent>>,
+    stats: Mutex<HashMap<&'static str, SpanStat>>,
+    dropped: AtomicU64,
+}
+
+fn sink() -> &'static Sink {
+    static SINK: OnceLock<Sink> = OnceLock::new();
+    SINK.get_or_init(|| Sink {
+        events: Mutex::new(Vec::new()),
+        stats: Mutex::new(HashMap::new()),
+        dropped: AtomicU64::new(0),
+    })
+}
+
+/// The instant all `start_ns` offsets are measured from (first use wins).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Entry point for span instrumentation; see [`Span::enter`].
+#[derive(Debug)]
+pub struct Span;
+
+impl Span {
+    /// Opens a span; the returned guard records the event when dropped.
+    ///
+    /// A no-op (single relaxed atomic load) unless the process level is
+    /// [`crate::ObsLevel::Trace`].
+    #[inline]
+    #[must_use = "the span ends when the guard is dropped"]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if !crate::trace_enabled() {
+            return SpanGuard { active: false };
+        }
+        let entered = THREAD_BUF
+            .try_with(|buf| {
+                let mut buf = buf.borrow_mut();
+                // Force the epoch before the first span so offsets are valid.
+                let _ = epoch();
+                buf.stack.push(Frame {
+                    name,
+                    start: Instant::now(),
+                    child_ns: 0,
+                });
+            })
+            .is_ok();
+        SpanGuard { active: entered }
+    }
+}
+
+/// RAII guard closing a [`Span`]; records the event on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let _ = THREAD_BUF.try_with(|buf| {
+            let mut buf = buf.borrow_mut();
+            let Some(frame) = buf.stack.pop() else {
+                return;
+            };
+            let total_ns = frame.start.elapsed().as_nanos() as u64;
+            let self_ns = total_ns.saturating_sub(frame.child_ns);
+            if let Some(parent) = buf.stack.last_mut() {
+                parent.child_ns += total_ns;
+            }
+            let depth = buf.stack.len() as u32;
+            let start_ns = frame.start.duration_since(epoch()).as_nanos() as u64;
+            let thread = buf.id;
+            buf.events.push(TraceEvent {
+                name: frame.name,
+                thread,
+                depth,
+                start_ns,
+                duration_ns: total_ns,
+            });
+            let stat = buf.stats.entry(frame.name).or_default();
+            stat.count += 1;
+            stat.total_ns += total_ns;
+            stat.self_ns += self_ns;
+            if buf.events.len() >= THREAD_FLUSH_THRESHOLD {
+                buf.flush();
+            }
+        });
+    }
+}
+
+/// Flushes the calling thread's buffered events/stats into the global sink.
+///
+/// Threads flush automatically every [`THREAD_FLUSH_THRESHOLD`] events and
+/// when they exit; call this before [`drain`] on the thread that did the
+/// work if it is still alive (e.g. `main`).
+pub fn flush_current_thread() {
+    let _ = THREAD_BUF.try_with(|buf| buf.borrow_mut().flush());
+}
+
+/// Takes every buffered event and the per-span summary out of the sink,
+/// leaving it empty. Flushes the calling thread first; other threads'
+/// unflushed tails are picked up once they flush or exit.
+///
+/// Summaries are sorted by self time, descending.
+pub fn drain() -> (Vec<TraceEvent>, Vec<SpanSummary>) {
+    flush_current_thread();
+    let sink = sink();
+    let mut events = std::mem::take(&mut *sink.events.lock().expect("trace sink poisoned"));
+    events.sort_by_key(|e| e.start_ns);
+    let stats = std::mem::take(&mut *sink.stats.lock().expect("trace sink poisoned"));
+    let mut summaries: Vec<SpanSummary> = stats
+        .into_iter()
+        .map(|(name, s)| SpanSummary {
+            name,
+            count: s.count,
+            total: Duration::from_nanos(s.total_ns),
+            self_time: Duration::from_nanos(s.self_ns),
+        })
+        .collect();
+    summaries.sort_by(|a, b| b.self_time.cmp(&a.self_time).then(a.name.cmp(b.name)));
+    (events, summaries)
+}
+
+/// Number of events dropped because the sink was at [`MAX_BUFFERED_EVENTS`].
+pub fn dropped_events() -> u64 {
+    sink().dropped.load(Ordering::Relaxed)
+}
+
+/// Clears buffered events, summaries and the drop counter (tests/benches).
+pub fn reset() {
+    flush_current_thread();
+    let sink = sink();
+    sink.events.lock().expect("trace sink poisoned").clear();
+    sink.stats.lock().expect("trace sink poisoned").clear();
+    sink.dropped.store(0, Ordering::Relaxed);
+}
+
+/// Serializes events as JSON lines, one object per event.
+pub fn events_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let _ = writeln!(
+            out,
+            "{{\"name\":{},\"thread\":{},\"depth\":{},\"start_ns\":{},\"duration_ns\":{}}}",
+            crate::registry::json_string(e.name),
+            e.thread,
+            e.depth,
+            e.start_ns,
+            e.duration_ns
+        );
+    }
+    out
+}
+
+/// Renders the self-time/total-time summary table printed at experiment
+/// end. `wall` is the experiment's wall-clock time; the footer reports how
+/// much of it the named spans' self time accounts for.
+pub fn render_summary(summaries: &[SpanSummary], wall: Duration) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10} {:>12} {:>12} {:>8}",
+        "span", "count", "total", "self", "% wall"
+    );
+    let mut self_sum = Duration::ZERO;
+    for s in summaries {
+        self_sum += s.self_time;
+        let pct = if wall.is_zero() {
+            0.0
+        } else {
+            100.0 * s.self_time.as_secs_f64() / wall.as_secs_f64()
+        };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>12} {:>12} {:>7.1}%",
+            s.name,
+            s.count,
+            format_duration(s.total),
+            format_duration(s.self_time),
+            pct
+        );
+    }
+    let pct = if wall.is_zero() {
+        0.0
+    } else {
+        100.0 * self_sum.as_secs_f64() / wall.as_secs_f64()
+    };
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10} {:>12} {:>12} {:>7.1}%",
+        "TOTAL (self)",
+        "",
+        "",
+        format_duration(self_sum),
+        pct
+    );
+    let dropped = dropped_events();
+    if dropped > 0 {
+        let _ = writeln!(out, "({dropped} events dropped at the sink cap)");
+    }
+    out
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{set_level, test_level_lock, ObsLevel};
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = test_level_lock();
+        let before = crate::level();
+        set_level(ObsLevel::Off);
+        reset();
+        {
+            let _s = Span::enter("off/span");
+        }
+        let (events, summaries) = drain();
+        assert!(events.is_empty());
+        assert!(summaries.is_empty());
+        set_level(before);
+    }
+
+    #[test]
+    fn nested_spans_attribute_self_time_to_parent_minus_children() {
+        let _guard = test_level_lock();
+        let before = crate::level();
+        set_level(ObsLevel::Trace);
+        reset();
+        {
+            let _outer = Span::enter("test/outer");
+            std::thread::sleep(Duration::from_millis(4));
+            for _ in 0..2 {
+                let _inner = Span::enter("test/inner");
+                std::thread::sleep(Duration::from_millis(3));
+            }
+        }
+        let (events, summaries) = drain();
+        set_level(before);
+
+        assert_eq!(events.len(), 3);
+        let outer_ev = events.iter().find(|e| e.name == "test/outer").unwrap();
+        let inner_evs: Vec<_> = events.iter().filter(|e| e.name == "test/inner").collect();
+        assert_eq!(outer_ev.depth, 0);
+        assert!(inner_evs.iter().all(|e| e.depth == 1));
+        // Children start within the parent's interval.
+        for e in &inner_evs {
+            assert!(e.start_ns >= outer_ev.start_ns);
+            assert!(
+                e.start_ns + e.duration_ns <= outer_ev.start_ns + outer_ev.duration_ns + 1_000_000
+            );
+        }
+
+        let outer = summaries.iter().find(|s| s.name == "test/outer").unwrap();
+        let inner = summaries.iter().find(|s| s.name == "test/inner").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 2);
+        assert!(inner.total >= Duration::from_millis(6));
+        assert!(outer.total >= inner.total);
+        // Outer self time excludes the inner spans.
+        assert_eq!(outer.self_time, outer.total - inner.total);
+        assert!(outer.self_time >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn spans_from_joined_threads_are_drained() {
+        let _guard = test_level_lock();
+        let before = crate::level();
+        set_level(ObsLevel::Trace);
+        reset();
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _s = Span::enter("worker/span");
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let (events, summaries) = drain();
+        set_level(before);
+        assert_eq!(events.len(), 3);
+        let threads_seen: std::collections::HashSet<u64> =
+            events.iter().map(|e| e.thread).collect();
+        assert_eq!(threads_seen.len(), 3, "one thread index per worker");
+        assert_eq!(summaries[0].name, "worker/span");
+        assert_eq!(summaries[0].count, 3);
+    }
+
+    #[test]
+    fn jsonl_serialization_is_one_object_per_line() {
+        let events = [
+            TraceEvent {
+                name: "a/b",
+                thread: 0,
+                depth: 0,
+                start_ns: 5,
+                duration_ns: 10,
+            },
+            TraceEvent {
+                name: "c",
+                thread: 1,
+                depth: 2,
+                start_ns: 7,
+                duration_ns: 1,
+            },
+        ];
+        let jsonl = events_to_jsonl(&events);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"name\":\"a/b\",\"thread\":0,\"depth\":0,\"start_ns\":5,\"duration_ns\":10}"
+        );
+    }
+
+    #[test]
+    fn summary_table_reports_wall_fraction() {
+        let summaries = [
+            SpanSummary {
+                name: "x",
+                count: 2,
+                total: Duration::from_millis(90),
+                self_time: Duration::from_millis(90),
+            },
+            SpanSummary {
+                name: "y",
+                count: 1,
+                total: Duration::from_millis(5),
+                self_time: Duration::from_millis(5),
+            },
+        ];
+        let table = render_summary(&summaries, Duration::from_millis(100));
+        assert!(table.contains("x"), "{table}");
+        assert!(table.contains("90.0%"), "{table}");
+        assert!(table.contains("TOTAL (self)"), "{table}");
+        assert!(table.contains("95.0%"), "{table}");
+    }
+
+    #[test]
+    fn sink_cap_counts_drops() {
+        let _guard = test_level_lock();
+        let before = crate::level();
+        set_level(ObsLevel::Trace);
+        reset();
+        // Simulate a full sink by pre-filling, then flush one more event.
+        {
+            let mut events = sink().events.lock().unwrap();
+            events.resize(
+                MAX_BUFFERED_EVENTS,
+                TraceEvent {
+                    name: "fill",
+                    thread: 0,
+                    depth: 0,
+                    start_ns: 0,
+                    duration_ns: 0,
+                },
+            );
+        }
+        {
+            let _s = Span::enter("over/cap");
+        }
+        flush_current_thread();
+        assert_eq!(dropped_events(), 1);
+        reset();
+        set_level(before);
+    }
+}

@@ -6,6 +6,7 @@ use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::queue::{BoundedQueue, PushError};
 use crate::{Result, ServeError};
 use adv_magnet::{DefenseScheme, MagnetDefense, StageTimings, Verdict};
+use adv_obs::Span;
 use adv_tensor::Tensor;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -177,6 +178,19 @@ impl ServeEngine {
         self.metrics.snapshot()
     }
 
+    /// The engine's metrics in the Prometheus text exposition format
+    /// (counters, the queue-depth high-water gauge, and the latency
+    /// histogram with cumulative `le` buckets).
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics.obs_snapshot().to_prometheus()
+    }
+
+    /// The engine's metrics as a JSON object (same content as
+    /// [`metrics_prometheus`](Self::metrics_prometheus)).
+    pub fn metrics_json(&self) -> String {
+        self.metrics.obs_snapshot().to_json()
+    }
+
     /// Stops accepting work, drains every queued request, joins the workers,
     /// and returns the final metrics.
     pub fn shutdown(mut self) -> MetricsSnapshot {
@@ -205,7 +219,16 @@ fn worker_loop(
     cfg: &ServeConfig,
     metrics: &ServeMetrics,
 ) {
-    while let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.max_wait) {
+    loop {
+        let batch = {
+            // Poll time covers both idle waiting and batch coalescing; in a
+            // trace it shows up as the worker's non-pipeline time.
+            let _poll = Span::enter("serve/poll");
+            queue.pop_batch(cfg.max_batch, cfg.max_wait)
+        };
+        let Some(batch) = batch else {
+            break;
+        };
         if batch.is_empty() {
             continue;
         }
@@ -235,20 +258,24 @@ fn run_batch(
     }
 
     for group in groups {
+        let _batch_span = Span::enter("serve/batch");
         let started = Instant::now();
         let inputs: Vec<Tensor> = group.iter().map(|r| r.input.clone()).collect();
-        let outcome = Tensor::stack(&inputs)
-            .map_err(|e| ServeError::Pipeline(e.to_string()))
-            .and_then(|x| {
-                // The fused pass memoises sub-computations shared between
-                // detectors, reformer, and classifier within the batch; its
-                // verdicts are bit-identical to `classify` (the equivalence
-                // tests pin this), so batching changes throughput, not
-                // results.
-                defense
-                    .classify_fused(&x, scheme)
-                    .map_err(|e| ServeError::Pipeline(e.to_string()))
-            });
+        let stacked = {
+            let _stack = Span::enter("serve/stack");
+            Tensor::stack(&inputs).map_err(|e| ServeError::Pipeline(e.to_string()))
+        };
+        let outcome = stacked.and_then(|x| {
+            let _pipeline = Span::enter("serve/pipeline");
+            // The fused pass memoises sub-computations shared between
+            // detectors, reformer, and classifier within the batch; its
+            // verdicts are bit-identical to `classify` (the equivalence
+            // tests pin this), so batching changes throughput, not
+            // results.
+            defense
+                .classify_fused(&x, scheme)
+                .map_err(|e| ServeError::Pipeline(e.to_string()))
+        });
         match outcome {
             Ok((verdicts, timings)) => {
                 metrics.record_batch(timings.detect, timings.reform, timings.classify);

@@ -1,8 +1,15 @@
-//! Lock-light serving metrics: atomic counters on the hot path, one mutex
-//! touch per completed request to record its latency sample.
+//! Serving metrics on the shared `adv-obs` registry: atomic counters on the
+//! hot path, one fixed-bucket histogram sample per completed request.
+//!
+//! The engine owns a private [`Registry`] (so two engines in one process
+//! never cross-count) and always records into it regardless of the global
+//! `adv-obs` level — these counters back the engine's own
+//! [`MetricsSnapshot`] API, they are not optional telemetry. Latency
+//! percentiles come from the registry histogram's nearest-rank quantiles:
+//! accurate to one power-of-two bucket, exact at the observed extremes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use adv_obs::{Counter, Gauge, Histogram, Registry, Snapshot};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Point-in-time view of the engine's counters, computed by
@@ -23,9 +30,9 @@ pub struct MetricsSnapshot {
     pub max_queue_depth: u64,
     /// Mean executed batch size (`0.0` before the first batch).
     pub mean_batch_size: f64,
-    /// Median submit-to-response latency.
+    /// Median submit-to-response latency (bucket-quantized; see module doc).
     pub p50_latency: Duration,
-    /// 99th-percentile submit-to-response latency.
+    /// 99th-percentile submit-to-response latency (bucket-quantized).
     pub p99_latency: Duration,
     /// Cumulative wall-clock time in detector scoring across all batches.
     pub detect_time: Duration,
@@ -35,102 +42,111 @@ pub struct MetricsSnapshot {
     pub classify_time: Duration,
 }
 
-/// Shared counters updated by submitters and workers.
-#[derive(Debug, Default)]
+/// Shared counters updated by submitters and workers, living on a private
+/// `adv-obs` [`Registry`].
+#[derive(Debug)]
 pub(crate) struct ServeMetrics {
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    batches: AtomicU64,
-    max_queue_depth: AtomicU64,
-    detect_ns: AtomicU64,
-    reform_ns: AtomicU64,
-    classify_ns: AtomicU64,
-    latencies_ns: Mutex<Vec<u64>>,
+    registry: Arc<Registry>,
+    submitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    completed: Arc<Counter>,
+    failed: Arc<Counter>,
+    batches: Arc<Counter>,
+    max_queue_depth: Arc<Gauge>,
+    latency: Arc<Histogram>,
+    detect_ns: Arc<Counter>,
+    reform_ns: Arc<Counter>,
+    classify_ns: Arc<Counter>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        let registry = Arc::new(Registry::new());
+        ServeMetrics {
+            submitted: registry.counter("serve.submitted"),
+            rejected: registry.counter("serve.rejected"),
+            completed: registry.counter("serve.completed"),
+            failed: registry.counter("serve.failed"),
+            batches: registry.counter("serve.batches"),
+            max_queue_depth: registry.gauge("serve.max_queue_depth"),
+            latency: registry.histogram("serve.latency_ns"),
+            detect_ns: registry.counter("serve.detect_ns"),
+            reform_ns: registry.counter("serve.reform_ns"),
+            classify_ns: registry.counter("serve.classify_ns"),
+            registry,
+        }
+    }
 }
 
 impl ServeMetrics {
+    /// Records an accepted request and the queue depth it observed.
+    ///
+    /// `queue_depth` is sampled at push time, *before* this metric update,
+    /// so under concurrent submitters the recorded maximum can briefly lag
+    /// the true instantaneous peak (submitter A pushes, B pushes and records
+    /// depth 2, then A records depth 1). The `set_max` compare-and-swap
+    /// keeps the gauge *monotone non-decreasing* regardless of that
+    /// interleaving: a stale smaller sample can never overwrite a larger
+    /// one, so the reported high-water mark is exact over the samples taken.
     pub fn record_submitted(&self, queue_depth: usize) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.max_queue_depth
-            .fetch_max(queue_depth as u64, Ordering::Relaxed);
+        self.submitted.incr();
+        self.max_queue_depth.set_max(queue_depth as f64);
     }
 
     pub fn record_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.incr();
     }
 
     pub fn record_batch(&self, detect: Duration, reform: Duration, classify: Duration) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.detect_ns
-            .fetch_add(detect.as_nanos() as u64, Ordering::Relaxed);
-        self.reform_ns
-            .fetch_add(reform.as_nanos() as u64, Ordering::Relaxed);
-        self.classify_ns
-            .fetch_add(classify.as_nanos() as u64, Ordering::Relaxed);
+        self.batches.incr();
+        self.detect_ns.add(detect.as_nanos() as u64);
+        self.reform_ns.add(reform.as_nanos() as u64);
+        self.classify_ns.add(classify.as_nanos() as u64);
     }
 
     pub fn record_completed(&self, latency: Duration) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        self.latencies_ns
-            .lock()
-            .expect("metrics poisoned")
-            .push(latency.as_nanos() as u64);
+        self.completed.incr();
+        self.latency.record_duration(latency);
     }
 
     pub fn record_failed(&self) {
-        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.failed.incr();
+    }
+
+    /// Raw `adv-obs` snapshot of the engine registry, for the Prometheus and
+    /// JSON exporters.
+    pub fn obs_snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let mut lat = self.latencies_ns.lock().expect("metrics poisoned").clone();
-        lat.sort_unstable();
-        let completed = self.completed.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
+        let completed = self.completed.get();
+        let batches = self.batches.get();
+        let latency = self.latency.snapshot();
         MetricsSnapshot {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
+            rejected: self.rejected.get(),
             completed,
-            failed: self.failed.load(Ordering::Relaxed),
+            failed: self.failed.get(),
             batches,
-            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.get() as u64,
             mean_batch_size: if batches == 0 {
                 0.0
             } else {
                 completed as f64 / batches as f64
             },
-            p50_latency: quantile(&lat, 0.50),
-            p99_latency: quantile(&lat, 0.99),
-            detect_time: Duration::from_nanos(self.detect_ns.load(Ordering::Relaxed)),
-            reform_time: Duration::from_nanos(self.reform_ns.load(Ordering::Relaxed)),
-            classify_time: Duration::from_nanos(self.classify_ns.load(Ordering::Relaxed)),
+            p50_latency: Duration::from_nanos(latency.quantile(0.50) as u64),
+            p99_latency: Duration::from_nanos(latency.quantile(0.99) as u64),
+            detect_time: Duration::from_nanos(self.detect_ns.get()),
+            reform_time: Duration::from_nanos(self.reform_ns.get()),
+            classify_time: Duration::from_nanos(self.classify_ns.get()),
         }
     }
-}
-
-/// Nearest-rank quantile (`⌈q·N⌉`-th order statistic) of an ascending-sorted
-/// sample; zero when empty.
-pub(crate) fn quantile(sorted_ns: &[u64], q: f64) -> Duration {
-    if sorted_ns.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = (q * sorted_ns.len() as f64).ceil() as usize;
-    let idx = rank.clamp(1, sorted_ns.len()) - 1;
-    Duration::from_nanos(sorted_ns[idx])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn quantiles_of_known_sample() {
-        let ns: Vec<u64> = (1..=100).collect();
-        assert_eq!(quantile(&ns, 0.50), Duration::from_nanos(50));
-        assert_eq!(quantile(&ns, 0.99), Duration::from_nanos(99));
-        assert_eq!(quantile(&[], 0.5), Duration::ZERO);
-    }
 
     #[test]
     fn snapshot_aggregates_counters() {
@@ -153,7 +169,58 @@ mod tests {
         assert_eq!(s.max_queue_depth, 5);
         assert_eq!(s.mean_batch_size, 2.0);
         assert_eq!(s.detect_time, Duration::from_nanos(10));
-        assert_eq!(s.p50_latency, Duration::from_micros(7));
+        // Histogram quantiles are bucket-quantized: p50 lands inside the
+        // sample range (within one 2× bucket of the true median), p99 clamps
+        // to the observed maximum exactly.
+        assert!(
+            s.p50_latency >= Duration::from_micros(7) && s.p50_latency <= Duration::from_micros(9),
+            "p50 {:?}",
+            s.p50_latency
+        );
         assert_eq!(s.p99_latency, Duration::from_micros(9));
+    }
+
+    #[test]
+    fn empty_metrics_report_zero_latencies() {
+        let s = ServeMetrics::default().snapshot();
+        assert_eq!(s.p50_latency, Duration::ZERO);
+        assert_eq!(s.p99_latency, Duration::ZERO);
+        assert_eq!(s.mean_batch_size, 0.0);
+    }
+
+    #[test]
+    fn max_queue_depth_is_monotone_under_concurrent_submitters() {
+        let m = Arc::new(ServeMetrics::default());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    // Interleaved rising and falling depth samples; the max
+                    // must come out exact whatever the schedule.
+                    for depth in 0..1000usize {
+                        m.record_submitted(if t % 2 == 0 { depth } else { 999 - depth });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 8000);
+        assert_eq!(s.max_queue_depth, 999);
+    }
+
+    #[test]
+    fn obs_snapshot_exports_engine_metrics() {
+        let m = ServeMetrics::default();
+        m.record_submitted(1);
+        m.record_completed(Duration::from_micros(5));
+        let snap = m.obs_snapshot();
+        assert_eq!(snap.counter("serve.submitted"), Some(1));
+        assert_eq!(snap.histogram("serve.latency_ns").unwrap().count, 1);
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("serve_submitted 1"), "{prom}");
+        assert!(prom.contains("serve_latency_ns_bucket"), "{prom}");
     }
 }
