@@ -12,6 +12,7 @@
 //!
 //! Binaries accept `--scale smoke|quick|paper` plus individual overrides.
 
+use crate::error::EvalError;
 use serde::{Deserialize, Serialize};
 
 /// All experiment-size knobs in one place.
@@ -226,33 +227,42 @@ impl CliArgs {
     ///
     /// # Errors
     ///
-    /// Returns a message for unknown scales or malformed numbers.
-    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String> {
+    /// Returns [`EvalError::InvalidConfig`] for unknown flags or scales and
+    /// malformed numbers.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<CliArgs, EvalError> {
         let mut scale = Scale::quick();
         let mut models_dir = "models".to_string();
         let mut out_dir = "results".to_string();
         let mut obs_dir = None;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
-            let mut next = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+            let mut next = |flag: &str| {
+                it.next()
+                    .ok_or_else(|| EvalError::InvalidConfig(format!("{flag} requires a value")))
+            };
             match arg.as_str() {
                 "--scale" => {
                     let name = next("--scale")?;
-                    scale = Scale::from_name(&name)
-                        .ok_or_else(|| format!("unknown scale '{name}' (smoke|quick|paper)"))?;
+                    scale = Scale::from_name(&name).ok_or_else(|| {
+                        EvalError::InvalidConfig(format!(
+                            "unknown scale '{name}' (smoke|quick|paper)"
+                        ))
+                    })?;
                 }
                 "--n" => {
-                    scale.attack_count = next("--n")?.parse().map_err(|e| format!("--n: {e}"))?;
+                    scale.attack_count = next("--n")?
+                        .parse()
+                        .map_err(|e| EvalError::InvalidConfig(format!("--n: {e}")))?;
                 }
                 "--iters" => {
                     scale.attack_iterations = next("--iters")?
                         .parse()
-                        .map_err(|e| format!("--iters: {e}"))?;
+                        .map_err(|e| EvalError::InvalidConfig(format!("--iters: {e}")))?;
                 }
                 "--seed" => {
                     scale.seed = next("--seed")?
                         .parse()
-                        .map_err(|e| format!("--seed: {e}"))?;
+                        .map_err(|e| EvalError::InvalidConfig(format!("--seed: {e}")))?;
                 }
                 "--fine" => {
                     scale.mnist_kappa_step = 5;
@@ -261,7 +271,11 @@ impl CliArgs {
                 "--models" => models_dir = next("--models")?,
                 "--out" => out_dir = next("--out")?,
                 "--obs" => obs_dir = Some(next("--obs")?),
-                other => return Err(format!("unknown argument '{other}'")),
+                other => {
+                    return Err(EvalError::InvalidConfig(format!(
+                        "unknown argument '{other}'"
+                    )))
+                }
             }
         }
         Ok(CliArgs {

@@ -1,0 +1,346 @@
+//! A minimal Rust surface lexer: separates code from comments and blanks
+//! out literal contents.
+//!
+//! The rule engine never needs a full parse tree — every invariant it
+//! checks is visible at the token surface (`.unwrap()`, `Ordering::Relaxed`,
+//! `Instant::now`, a `pub fn` signature). What it *does* need is to never be
+//! fooled by a forbidden pattern inside a string literal or a comment, and
+//! to see comments separately so `// lint-ok(...)` allowlists can be
+//! attached to code lines. [`scrub`] provides exactly that: a copy of the
+//! source where every comment and every literal body is replaced by spaces
+//! (newlines preserved, so line/column positions are unchanged), plus the
+//! comment texts with their line numbers.
+
+/// One comment extracted from the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The result of [`scrub`]: position-preserving code with literals and
+/// comments blanked, plus the extracted comments.
+#[derive(Debug, Clone)]
+pub struct Scrubbed {
+    /// Source text with comments and literal bodies replaced by spaces.
+    /// Identical length and line structure to the input.
+    pub code: String,
+    /// Every comment, in source order.
+    pub comments: Vec<Comment>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Scrubs `src`, blanking comments and literal bodies while preserving the
+/// exact line/column layout (see module docs).
+pub fn scrub(src: &str) -> Scrubbed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut code = String::with_capacity(src.len());
+    let mut comments = Vec::new();
+    let mut current_comment = String::new();
+    let mut comment_line = 0usize;
+    let mut state = State::Code;
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Pushes a source char to the scrubbed output, preserving newlines.
+    fn blank(code: &mut String, c: char) {
+        code.push(if c == '\n' { '\n' } else { ' ' });
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    comment_line = line;
+                    current_comment.clear();
+                    current_comment.push_str("//");
+                    blank(&mut code, '/');
+                    blank(&mut code, '/');
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    comment_line = line;
+                    current_comment.clear();
+                    current_comment.push_str("/*");
+                    blank(&mut code, '/');
+                    blank(&mut code, '*');
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = State::Str;
+                    code.push(' ');
+                }
+                'r' | 'b' => {
+                    // Possible raw/byte string: r", r#", br", b", rb is not
+                    // a thing; scan optional second prefix char and hashes.
+                    let mut j = i + 1;
+                    if c == 'b' && bytes.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let is_raw = j > i + 1 || c == 'r';
+                    if is_raw && bytes.get(j) == Some(&'"') {
+                        // Only a literal when `r`/`b` is not part of a wider
+                        // identifier (e.g. `attr` or `rb` variable names).
+                        let prev_ident = i > 0 && is_ident_char(bytes[i - 1]);
+                        if !prev_ident {
+                            for _ in i..=j {
+                                code.push(' ');
+                            }
+                            i = j + 1;
+                            state = State::RawStr(hashes);
+                            continue;
+                        }
+                    }
+                    if c == 'b' && bytes.get(i + 1) == Some(&'"') {
+                        let prev_ident = i > 0 && is_ident_char(bytes[i - 1]);
+                        if !prev_ident {
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                            state = State::Str;
+                            continue;
+                        }
+                    }
+                    code.push(c);
+                }
+                '\'' => {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let is_lifetime = match next {
+                        Some(n) if is_ident_char(n) && n != '\\' => bytes.get(i + 2) != Some(&'\''),
+                        _ => false,
+                    };
+                    if is_lifetime {
+                        code.push('\'');
+                    } else {
+                        state = State::Char;
+                        code.push(' ');
+                    }
+                }
+                _ => code.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    comments.push(Comment {
+                        line: comment_line,
+                        text: current_comment.clone(),
+                    });
+                    state = State::Code;
+                    code.push('\n');
+                } else {
+                    current_comment.push(c);
+                    blank(&mut code, c);
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    current_comment.push_str("*/");
+                    blank(&mut code, '*');
+                    blank(&mut code, '/');
+                    i += 2;
+                    if depth == 1 {
+                        comments.push(Comment {
+                            line: comment_line,
+                            text: current_comment.clone(),
+                        });
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    current_comment.push_str("/*");
+                    blank(&mut code, '/');
+                    blank(&mut code, '*');
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                    continue;
+                }
+                current_comment.push(c);
+                blank(&mut code, c);
+            }
+            State::Str => match c {
+                '\\' => {
+                    blank(&mut code, c);
+                    if let Some(n) = next {
+                        blank(&mut code, n);
+                        i += 2;
+                        if n == '\n' {
+                            line += 1;
+                        }
+                        continue;
+                    }
+                }
+                '"' => {
+                    state = State::Code;
+                    code.push(' ');
+                }
+                _ => blank(&mut code, c),
+            },
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && bytes.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        for _ in i..j {
+                            code.push(' ');
+                        }
+                        i = j;
+                        state = State::Code;
+                        continue;
+                    }
+                }
+                blank(&mut code, c);
+            }
+            State::Char => match c {
+                '\\' => {
+                    blank(&mut code, c);
+                    if let Some(n) = next {
+                        blank(&mut code, n);
+                        i += 2;
+                        continue;
+                    }
+                }
+                '\'' => {
+                    state = State::Code;
+                    code.push(' ');
+                }
+                '\n' => {
+                    // Unterminated char literal (shouldn't happen in code
+                    // that compiles); bail back to code on the newline.
+                    state = State::Code;
+                    code.push('\n');
+                }
+                _ => blank(&mut code, c),
+            },
+        }
+        if c == '\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+    if state == State::LineComment {
+        comments.push(Comment {
+            line: comment_line,
+            text: current_comment,
+        });
+    }
+    Scrubbed { code, comments }
+}
+
+/// `true` for characters that can appear inside a Rust identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"panic!\"; // unwrap() here\nlet y = 1;\n";
+        let s = scrub(src);
+        assert!(!s.code.contains("panic!"));
+        assert!(!s.code.contains("unwrap"));
+        assert!(s.code.contains("let y = 1;"));
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].line, 1);
+        assert_eq!(s.comments[0].text, "// unwrap() here");
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e\n";
+        let s = scrub(src);
+        assert_eq!(s.code.lines().count(), src.lines().count());
+        assert!(s.code.lines().nth(3).unwrap().starts_with('b'));
+        assert!(s.code.lines().nth(4).unwrap().ends_with(" e"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"has \"quotes\" and unwrap()\"#; call();";
+        let s = scrub(src);
+        assert!(!s.code.contains("unwrap"));
+        assert!(s.code.contains("call();"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = "let a = b\"panic!\"; let c = br#\"x\"#; done();";
+        let s = scrub(src);
+        assert!(!s.code.contains("panic!"));
+        assert!(s.code.contains("done();"));
+    }
+
+    #[test]
+    fn identifiers_ending_in_r_or_b_are_not_raw_strings() {
+        let src = "let attr = \"x\"; let rb = 1; f(attr, rb);";
+        let s = scrub(src);
+        assert!(s.code.contains("let attr ="));
+        assert!(s.code.contains("f(attr, rb);"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; g(c, n) }";
+        let s = scrub(src);
+        assert!(s.code.contains("<'a>"));
+        assert!(s.code.contains("&'a str"));
+        assert!(!s.code.contains("'x'"));
+        assert!(s.code.contains("g(c, n)"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let s = scrub(src);
+        assert!(s.code.contains('a'));
+        assert!(s.code.contains('b'));
+        assert!(!s.code.contains("still"));
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let src = "let s = \"he said \\\"unwrap()\\\" loudly\"; after();";
+        let s = scrub(src);
+        assert!(!s.code.contains("unwrap"));
+        assert!(s.code.contains("after();"));
+    }
+
+    #[test]
+    fn trailing_line_comment_without_newline() {
+        let s = scrub("x // tail");
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].text, "// tail");
+    }
+}

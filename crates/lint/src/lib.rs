@@ -1,0 +1,272 @@
+//! adv-lint: the workspace invariant linter.
+//!
+//! Generic clippy cannot know that this repo promises panic-free library
+//! hot paths, a written rationale for every atomic ordering, clock reads
+//! only where timing is the feature, and typed error enums on public
+//! fallible APIs. This crate enforces those invariants with a token-level
+//! static analysis: a comment/string-aware lexer ([`lexer`]), a per-file
+//! model with test-region and allowlist maps ([`source`]), and a rule
+//! engine ([`rules`]) producing rustc-style diagnostics and a
+//! machine-readable JSON report ([`diagnostics`]).
+//!
+//! Run it over the workspace with `cargo run -p adv-lint -- check`
+//! (`--format json` for the report CI uploads). A finding is suppressed
+//! only by an allowlist comment that names the rule *and* gives a reason:
+//!
+//! ```text
+//! // lint-ok(ordering-justified): independent counter; no data is published
+//! hits.fetch_add(1, Ordering::Relaxed);
+//! ```
+//!
+//! Allowlist comments with a missing reason, or naming an unknown rule, are
+//! themselves findings (`lint-ok-syntax`) — a stale or lazy allowlist fails
+//! the build just like the violation it hides.
+//!
+//! The analysis is deliberately token-level rather than type-aware (the
+//! offline build environment has no `syn`/`rustc` driver): every rule
+//! matches surface syntax that cannot be confused by context once strings
+//! and comments are scrubbed. The fixture suite under `tests/fixtures/`
+//! pins each rule's behavior; the `workspace_is_clean` integration test
+//! pins the whole workspace at zero findings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use diagnostics::{render_json, render_text, Finding};
+
+use rules::{all_rules, FileCtx};
+use source::SourceFile;
+use std::path::Path;
+
+/// Errors from the linter itself (not findings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintError {
+    /// A file or directory could not be read.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying error text.
+        message: String,
+    },
+    /// The given root has no `Cargo.toml`.
+    NotAWorkspace {
+        /// The root that was tried.
+        root: String,
+    },
+    /// An unknown CLI argument or value.
+    Usage(String),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io { path, message } => write!(f, "cannot read {path}: {message}"),
+            LintError::NotAWorkspace { root } => {
+                write!(f, "{root} is not a workspace root (no Cargo.toml)")
+            }
+            LintError::Usage(msg) => write!(f, "usage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Which crates each scoped rule covers. The unscoped rules
+/// (`ordering-justified`, `crate-error-types`) run on every discovered
+/// crate.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Crates whose library code must be panic-free (`no-panic-lib`).
+    pub no_panic_crates: Vec<String>,
+    /// Subset of crates where bracket indexing is also forbidden (the
+    /// concurrency core, where every index deserves a justification).
+    pub index_check_crates: Vec<String>,
+    /// Crates whose library code may not read clocks ungated
+    /// (`gated-clocks`).
+    pub clock_crates: Vec<String>,
+}
+
+impl LintConfig {
+    /// The workspace policy: the numeric/serving/observability core is
+    /// panic-free and clock-gated; the concurrency core (serve, obs) and
+    /// the linter itself additionally ban unchecked indexing.
+    pub fn workspace_default() -> LintConfig {
+        let s = |names: &[&str]| names.iter().map(|n| n.to_string()).collect();
+        LintConfig {
+            no_panic_crates: s(&[
+                "adv-tensor",
+                "adv-nn",
+                "adv-serve",
+                "adv-obs",
+                "adv-magnet",
+                "adv-lint",
+            ]),
+            index_check_crates: s(&["adv-serve", "adv-obs"]),
+            clock_crates: s(&[
+                "adv-tensor",
+                "adv-nn",
+                "adv-serve",
+                "adv-obs",
+                "adv-magnet",
+                "adv-data",
+                "adv-attacks",
+                "adv-lint",
+            ]),
+        }
+    }
+
+    /// A configuration with every scoped rule disabled (unit tests opt in
+    /// crate by crate).
+    pub fn empty() -> LintConfig {
+        LintConfig {
+            no_panic_crates: Vec::new(),
+            index_check_crates: Vec::new(),
+            clock_crates: Vec::new(),
+        }
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// Every surviving finding, in path/line order.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_checked: usize,
+    /// Number of well-formed allowlist entries seen.
+    pub allows: usize,
+}
+
+impl Report {
+    /// `true` when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the report as text or JSON.
+    pub fn render(&self, json: bool) -> String {
+        if json {
+            render_json(&self.findings, self.files_checked, self.allows)
+        } else if self.findings.is_empty() {
+            format!(
+                "adv-lint: clean — {} files checked, {} allowlisted sites\n",
+                self.files_checked, self.allows
+            )
+        } else {
+            format!(
+                "{}adv-lint: {} finding(s) in {} files checked\n",
+                render_text(&self.findings),
+                self.findings.len(),
+                self.files_checked
+            )
+        }
+    }
+}
+
+/// Lints the workspace at `root` with the default policy.
+///
+/// # Errors
+///
+/// Propagates [`LintError`] from discovery and file loading; findings are
+/// data, not errors.
+pub fn run_check(root: &Path) -> Result<Report, LintError> {
+    run_check_with(root, &LintConfig::workspace_default())
+}
+
+/// Lints the workspace at `root` under an explicit configuration.
+///
+/// # Errors
+///
+/// See [`run_check`].
+pub fn run_check_with(root: &Path, config: &LintConfig) -> Result<Report, LintError> {
+    let rules = all_rules();
+    let known: Vec<&'static str> = rules.iter().map(|r| r.id()).collect();
+    let mut findings = Vec::new();
+    let mut files_checked = 0usize;
+    let mut allows = 0usize;
+
+    for krate in workspace::discover(root)? {
+        let files = workspace::load_sources(&krate)?;
+        let ctx = FileCtx {
+            crate_name: &krate.name,
+            config,
+        };
+        for file in &files {
+            files_checked += 1;
+            // A statement-scoped allow appears once per covered line; count
+            // distinct comments, not coverage.
+            let distinct: std::collections::BTreeSet<(usize, &str)> = file
+                .allows
+                .iter()
+                .flatten()
+                .map(|a| (a.comment_line, a.rule.as_str()))
+                .collect();
+            allows += distinct.len();
+            check_allow_comments(file, &known, &mut findings);
+            for rule in &rules {
+                if rule.applies(&ctx) {
+                    rule.check(file, &ctx, &mut findings);
+                }
+            }
+        }
+    }
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.column, a.rule).cmp(&(&b.path, b.line, b.column, b.rule))
+    });
+    Ok(Report {
+        findings,
+        files_checked,
+        allows,
+    })
+}
+
+/// Reports malformed allowlist comments (`lint-ok-syntax`): a missing
+/// reason, or a rule id the engine does not know.
+fn check_allow_comments(file: &SourceFile, known: &[&'static str], out: &mut Vec<Finding>) {
+    for &line in &file.malformed_allows {
+        if file.is_test_line(line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "lint-ok-syntax",
+            path: file.rel.clone(),
+            line,
+            column: 1,
+            width: 1,
+            message: "`lint-ok(..)` comment without a reason".to_string(),
+            snippet: file.lines.get(line - 1).cloned().unwrap_or_default(),
+            help: "write `// lint-ok(<rule>): <reason>` — the reason is mandatory".to_string(),
+        });
+    }
+    let mut reported: std::collections::BTreeSet<(usize, &str)> = std::collections::BTreeSet::new();
+    for (idx, entries) in file.allows.iter().enumerate() {
+        for allow in entries {
+            if !known.contains(&allow.rule.as_str())
+                && !file.is_test_line(allow.comment_line)
+                && reported.insert((allow.comment_line, allow.rule.as_str()))
+            {
+                out.push(Finding {
+                    rule: "lint-ok-syntax",
+                    path: file.rel.clone(),
+                    line: allow.comment_line,
+                    column: 1,
+                    width: 1,
+                    message: format!("`lint-ok({})` names an unknown rule", allow.rule),
+                    snippet: file
+                        .lines
+                        .get(allow.comment_line - 1)
+                        .or_else(|| file.lines.get(idx))
+                        .cloned()
+                        .unwrap_or_default(),
+                    help: "run `adv-lint rules` for the rule list".to_string(),
+                });
+            }
+        }
+    }
+}

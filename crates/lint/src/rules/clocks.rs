@@ -1,0 +1,139 @@
+//! `gated-clocks`: wall-clock reads in library code must be gated or
+//! justified.
+//!
+//! `Instant::now()` is cheap but not free (a `clock_gettime` vsyscall), and
+//! a clock read on a per-sample hot path is exactly the overhead the
+//! `ADV_OBS=off` contract promises not to pay. Library code may only read
+//! clocks behind an observability gate (`trace_enabled()` /
+//! `metrics_enabled()`) or where timing *is* the feature (the serving
+//! engine's latency accounting, batch deadlines) — and each such site says
+//! so via `// lint-ok(gated-clocks): <reason>`. Binaries are exempt:
+//! measuring wall clock is what probes do.
+
+use super::{emit, find_word, skip_ws, FileCtx, RawMatch, Rule};
+use crate::diagnostics::Finding;
+use crate::source::{FileKind, SourceFile};
+
+const CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+
+const HELP: &str = "move the read behind an `adv_obs` gate, or justify with \
+`// lint-ok(gated-clocks): <why this clock read is part of the feature>`";
+
+/// See module docs.
+#[derive(Debug)]
+pub struct GatedClocks;
+
+impl Rule for GatedClocks {
+    fn id(&self) -> &'static str {
+        "gated-clocks"
+    }
+
+    fn summary(&self) -> &'static str {
+        "`Instant::now` / `SystemTime::now` in library code only behind an \
+         obs gate or with an explicit justification"
+    }
+
+    fn applies(&self, ctx: &FileCtx<'_>) -> bool {
+        ctx.config.clock_crates.iter().any(|c| c == ctx.crate_name)
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        if file.kind != FileKind::Lib {
+            return;
+        }
+        for (idx, line) in file.code.iter().enumerate() {
+            let lineno = idx + 1;
+            let chars: Vec<char> = line.chars().collect();
+            for ty in CLOCK_TYPES {
+                for col in find_word(line, ty) {
+                    // Expect `::now` after the type name.
+                    let Some(c1) = skip_ws(&chars, col + ty.len()) else {
+                        continue;
+                    };
+                    if chars.get(c1) != Some(&':') || chars.get(c1 + 1) != Some(&':') {
+                        continue;
+                    }
+                    let Some(n0) = skip_ws(&chars, c1 + 2) else {
+                        continue;
+                    };
+                    let ident: String = chars[n0..]
+                        .iter()
+                        .take_while(|c| crate::lexer::is_ident_char(**c))
+                        .collect();
+                    if ident != "now" {
+                        continue;
+                    }
+                    emit(
+                        self.id(),
+                        HELP,
+                        file,
+                        RawMatch {
+                            line: lineno,
+                            column: col + 1,
+                            width: ty.len() + 5,
+                            message: format!(
+                                "`{ty}::now` clock read in library code without a gate \
+                                 or justification"
+                            ),
+                        },
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use crate::LintConfig;
+    use std::path::PathBuf;
+
+    fn run_kind(src: &str, kind: FileKind) -> Vec<Finding> {
+        let file = SourceFile::from_source(PathBuf::from("mem.rs"), "src/lib.rs".into(), kind, src);
+        let config = LintConfig {
+            clock_crates: vec!["core-crate".into()],
+            ..LintConfig::empty()
+        };
+        let ctx = FileCtx {
+            crate_name: "core-crate",
+            config: &config,
+        };
+        let mut out = Vec::new();
+        if GatedClocks.applies(&ctx) {
+            GatedClocks.check(&file, &ctx, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn bare_instant_now_is_flagged() {
+        let out = run_kind("fn f() { let t = Instant::now(); }\n", FileKind::Lib);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("Instant::now"));
+    }
+
+    #[test]
+    fn justified_clock_read_passes() {
+        let src = "fn f() {\n    // lint-ok(gated-clocks): latency accounting is the serving API\n    let t = Instant::now();\n}\n";
+        assert!(run_kind(src, FileKind::Lib).is_empty());
+    }
+
+    #[test]
+    fn system_time_now_is_flagged() {
+        let out = run_kind("fn f() { SystemTime::now(); }\n", FileKind::Lib);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn binaries_are_exempt() {
+        assert!(run_kind("fn main() { Instant::now(); }\n", FileKind::Bin).is_empty());
+    }
+
+    #[test]
+    fn instant_method_calls_are_not_flagged() {
+        assert!(run_kind("fn f(t: Instant) { t.elapsed(); }\n", FileKind::Lib).is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! `no-panic-lib`: no panic paths in library code of the core crates.
+//!
+//! Forbidden in non-test library code: `.unwrap()` / `.expect(..)` (and
+//! their `_err` twins), the `panic!` / `unreachable!` / `todo!` /
+//! `unimplemented!` macros, and — in the crates configured for index
+//! checking (the concurrency core, where slices are rare and every index
+//! deserves a justification) — bracket indexing, which panics out of
+//! bounds. `debug_assert!`-style checks are fine: they vanish in release
+//! builds and never take down a serving worker.
+
+use super::{emit, find_word, skip_ws, FileCtx, RawMatch, Rule};
+use crate::diagnostics::Finding;
+use crate::source::{FileKind, SourceFile};
+
+/// Method calls that panic on the error/none arm.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Macros that unconditionally panic when reached.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// See module docs.
+#[derive(Debug)]
+pub struct NoPanicLib;
+
+const HELP: &str = "return the crate's error type instead, or justify with \
+`// lint-ok(no-panic-lib): <why this cannot panic / is a programming error>`";
+
+impl Rule for NoPanicLib {
+    fn id(&self) -> &'static str {
+        "no-panic-lib"
+    }
+
+    fn summary(&self) -> &'static str {
+        "library code of the core crates must not contain panic paths \
+         (unwrap/expect, panic-family macros, unchecked indexing in the \
+         concurrency core)"
+    }
+
+    fn applies(&self, ctx: &FileCtx<'_>) -> bool {
+        ctx.config
+            .no_panic_crates
+            .iter()
+            .any(|c| c == ctx.crate_name)
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        if file.kind != FileKind::Lib {
+            return;
+        }
+        let check_indexing = ctx
+            .config
+            .index_check_crates
+            .iter()
+            .any(|c| c == ctx.crate_name);
+        for (idx, line) in file.code.iter().enumerate() {
+            let lineno = idx + 1;
+            let chars: Vec<char> = line.chars().collect();
+            for method in PANIC_METHODS {
+                for col in find_word(line, method) {
+                    // Must be a `.method(` call, not a bare identifier.
+                    let is_call = col > 0
+                        && chars[..col]
+                            .iter()
+                            .rev()
+                            .find(|c| !c.is_whitespace())
+                            .is_some_and(|&c| c == '.')
+                        && skip_ws(&chars, col + method.len()).is_some_and(|j| chars[j] == '(');
+                    if is_call {
+                        emit(
+                            self.id(),
+                            HELP,
+                            file,
+                            RawMatch {
+                                line: lineno,
+                                column: col + 1,
+                                width: method.len(),
+                                message: format!("`.{method}()` panic path in library code"),
+                            },
+                            out,
+                        );
+                    }
+                }
+            }
+            for mac in PANIC_MACROS {
+                for col in find_word(line, mac) {
+                    let is_macro =
+                        skip_ws(&chars, col + mac.len()).is_some_and(|j| chars[j] == '!');
+                    if is_macro {
+                        emit(
+                            self.id(),
+                            HELP,
+                            file,
+                            RawMatch {
+                                line: lineno,
+                                column: col + 1,
+                                width: mac.len() + 1,
+                                message: format!("`{mac}!` in library code"),
+                            },
+                            out,
+                        );
+                    }
+                }
+            }
+            if check_indexing {
+                for col in index_sites(&chars) {
+                    emit(
+                        self.id(),
+                        HELP,
+                        file,
+                        RawMatch {
+                            line: lineno,
+                            column: col + 1,
+                            width: 1,
+                            message: "unchecked `[..]` indexing (panics out of bounds) \
+                                      in the concurrency core"
+                                .to_string(),
+                        },
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// 0-based columns of `[` tokens that index an expression: the previous
+/// non-whitespace char is an identifier char, `)`, or `]`. This excludes
+/// attributes (`#[..]`), macro brackets (`vec![..]`, previous char `!`),
+/// type positions (`: [T; N]`, `&[T]`), and slice-type returns (`-> [T]`).
+fn index_sites(chars: &[char]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let prev = chars[..i].iter().rev().find(|c| !c.is_whitespace());
+        if let Some(&p) = prev {
+            if super::is_expr_end(p) {
+                out.push(i);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use crate::LintConfig;
+    use std::path::PathBuf;
+
+    fn run(src: &str, crate_name: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source(
+            PathBuf::from("mem.rs"),
+            "src/lib.rs".into(),
+            FileKind::Lib,
+            src,
+        );
+        let config = LintConfig {
+            no_panic_crates: vec!["core-crate".into()],
+            index_check_crates: vec!["core-crate".into()],
+            ..LintConfig::empty()
+        };
+        let ctx = FileCtx {
+            crate_name,
+            config: &config,
+        };
+        let mut out = Vec::new();
+        if NoPanicLib.applies(&ctx) {
+            NoPanicLib.check(&file, &ctx, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn unwrap_and_expect_calls_are_flagged() {
+        let out = run("fn f() { a.unwrap(); b.expect(\"msg\"); }\n", "core-crate");
+        assert_eq!(out.len(), 2);
+        assert!(out[0].message.contains("unwrap"));
+        assert!(out[1].message.contains("expect"));
+    }
+
+    #[test]
+    fn unwrap_or_family_is_allowed() {
+        let out = run(
+            "fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.unwrap_or_default(); }\n",
+            "core-crate",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn panic_macros_are_flagged_but_debug_assert_is_not() {
+        let out = run(
+            "fn f() { panic!(\"x\"); unreachable!(); debug_assert!(true); assert_eq!(1, 1); }\n",
+            "core-crate",
+        );
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+
+    #[test]
+    fn indexing_is_flagged_only_in_expression_position() {
+        let out = run(
+            "fn f(xs: &[u64], m: [u8; 2]) -> u64 { let v = vec![1]; xs[0] + v[1] + m[0] }\n",
+            "core-crate",
+        );
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out.iter().all(|f| f.message.contains("indexing")));
+    }
+
+    #[test]
+    fn attributes_and_test_code_are_not_flagged() {
+        let src = "#[derive(Debug)]\nstruct S;\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); s[0]; }\n}\n";
+        assert!(run(src, "core-crate").is_empty());
+    }
+
+    #[test]
+    fn lint_ok_comment_suppresses() {
+        let src = "fn f() { a.unwrap() } // lint-ok(no-panic-lib): `a` was just inserted\n";
+        assert!(run(src, "core-crate").is_empty());
+    }
+
+    #[test]
+    fn other_crates_are_out_of_scope() {
+        assert!(run("fn f() { a.unwrap(); }\n", "other").is_empty());
+    }
+
+    #[test]
+    fn strings_do_not_trigger() {
+        assert!(run("fn f() { log(\"please .unwrap() me\") }\n", "core-crate").is_empty());
+    }
+}

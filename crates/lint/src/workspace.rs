@@ -1,0 +1,201 @@
+//! Workspace discovery: find first-party crates and their Rust sources.
+//!
+//! The linter checks `src/` trees only — `tests/`, `benches/` and
+//! `examples/` are test code by construction, and the `shims/` stand-ins
+//! for external crates are vendored surface, not first-party code. The
+//! fixture crates under `crates/lint/tests/fixtures/` are likewise never
+//! part of a workspace walk (they are not workspace members and live under
+//! a `tests/` tree); fixture checks point the engine at them explicitly.
+
+use crate::source::{FileKind, SourceFile};
+use crate::LintError;
+use std::path::{Path, PathBuf};
+
+/// One crate to lint: its package name and source directory.
+#[derive(Debug, Clone)]
+pub struct CrateSrc {
+    /// Package name from `Cargo.toml`.
+    pub name: String,
+    /// The crate's `src/` directory.
+    pub src_dir: PathBuf,
+    /// Root-relative prefix for report paths (e.g. `crates/tensor`).
+    pub rel_prefix: String,
+}
+
+/// Discovers first-party crates under `root`: the root package (if it has a
+/// `src/`) plus every `crates/*` member. `shims/*` are excluded by design.
+///
+/// # Errors
+///
+/// [`LintError::NotAWorkspace`] when `root` has no `Cargo.toml`, and
+/// [`LintError::Io`] on unreadable directories.
+pub fn discover(root: &Path) -> Result<Vec<CrateSrc>, LintError> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(LintError::NotAWorkspace {
+            root: root.display().to_string(),
+        });
+    }
+    let mut out = Vec::new();
+    if root.join("src").is_dir() {
+        if let Some(name) = package_name(&root.join("Cargo.toml")) {
+            out.push(CrateSrc {
+                name,
+                src_dir: root.join("src"),
+                rel_prefix: String::new(),
+            });
+        }
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = read_dir_sorted(&crates_dir)?;
+        entries.retain(|p| p.is_dir());
+        for dir in entries {
+            let manifest = dir.join("Cargo.toml");
+            let src = dir.join("src");
+            if !manifest.is_file() || !src.is_dir() {
+                continue;
+            }
+            let Some(name) = package_name(&manifest) else {
+                continue;
+            };
+            let dir_name = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            out.push(CrateSrc {
+                name,
+                src_dir: src,
+                rel_prefix: format!("crates/{dir_name}"),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Loads every `.rs` file under the crate's `src/`, classifying binary
+/// targets (`src/main.rs`, `src/bin/**`) so bin-exempt rules can skip them.
+pub fn load_sources(krate: &CrateSrc) -> Result<Vec<SourceFile>, LintError> {
+    let mut files = Vec::new();
+    let mut stack = vec![krate.src_dir.clone()];
+    while let Some(dir) = stack.pop() {
+        for entry in read_dir_sorted(&dir)? {
+            if entry.is_dir() {
+                stack.push(entry);
+                continue;
+            }
+            if entry.extension().and_then(|e| e.to_str()) != Some("rs") {
+                continue;
+            }
+            let rel_in_src = entry
+                .strip_prefix(&krate.src_dir)
+                .unwrap_or(&entry)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let kind = if rel_in_src == "main.rs" || rel_in_src.starts_with("bin/") {
+                FileKind::Bin
+            } else {
+                FileKind::Lib
+            };
+            let rel = if krate.rel_prefix.is_empty() {
+                format!("src/{rel_in_src}")
+            } else {
+                format!("{}/src/{rel_in_src}", krate.rel_prefix)
+            };
+            files.push(SourceFile::load(&entry, rel, kind)?);
+        }
+    }
+    Ok(files)
+}
+
+/// Reads a directory, sorted by name for deterministic reports.
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let iter = std::fs::read_dir(dir).map_err(|e| LintError::Io {
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let mut entries: Vec<PathBuf> = Vec::new();
+    for entry in iter {
+        let entry = entry.map_err(|e| LintError::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+/// Extracts `name = "..."` from a manifest's `[package]` section with a
+/// plain line scan (the workspace manifests are simple enough that a TOML
+/// parser would be dead weight).
+fn package_name(manifest: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(manifest).ok()?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(value) = rest.strip_prefix('=') {
+                return Some(value.trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workspace_root() -> PathBuf {
+        // crates/lint/.. /.. == the workspace root.
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from("."))
+    }
+
+    #[test]
+    fn discovers_this_workspace() {
+        let crates = discover(&workspace_root()).unwrap();
+        let names: Vec<&str> = crates.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"adv-lint"), "{names:?}");
+        assert!(names.contains(&"adv-serve"), "{names:?}");
+        assert!(names.contains(&"magnet-l1"), "{names:?}");
+        assert!(
+            !names.iter().any(|n| n.starts_with("shim")),
+            "shims must not be linted: {names:?}"
+        );
+    }
+
+    #[test]
+    fn classifies_bin_files() {
+        let crates = discover(&workspace_root()).unwrap();
+        let core = crates.iter().find(|c| c.name == "adv-eval").unwrap();
+        let files = load_sources(core).unwrap();
+        let probe = files
+            .iter()
+            .find(|f| f.rel.ends_with("bin/serve_probe.rs"))
+            .unwrap();
+        assert_eq!(probe.kind, FileKind::Bin);
+        let lib = files
+            .iter()
+            .find(|f| f.rel.ends_with("src/lib.rs"))
+            .unwrap();
+        assert_eq!(lib.kind, FileKind::Lib);
+    }
+
+    #[test]
+    fn missing_workspace_is_a_typed_error() {
+        let err = discover(Path::new("/nonexistent-lint-root")).unwrap_err();
+        assert!(matches!(err, LintError::NotAWorkspace { .. }));
+    }
+}

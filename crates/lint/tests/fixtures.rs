@@ -1,0 +1,135 @@
+//! Fixture-based integration tests: each rule fires exactly once on the
+//! `violations` fixture workspace, the `clean` fixture is finding-free, and
+//! the real workspace passes the default policy end to end.
+
+use adv_lint::{run_check, run_check_with, LintConfig};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn fixture_config() -> LintConfig {
+    LintConfig {
+        no_panic_crates: vec!["fx-panic".into(), "fx-clean".into()],
+        index_check_crates: vec!["fx-panic".into(), "fx-clean".into()],
+        clock_crates: vec!["fx-clocks".into(), "fx-clean".into()],
+    }
+}
+
+#[test]
+fn violations_fixture_triggers_each_rule_exactly_once() {
+    let report = run_check_with(&fixture("violations"), &fixture_config())
+        .expect("fixture workspace must be walkable");
+
+    let mut by_rule: Vec<(&str, &str, usize)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.path.as_str(), f.line))
+        .collect();
+    by_rule.sort_unstable();
+    assert_eq!(
+        by_rule,
+        vec![
+            ("crate-error-types", "crates/fx-errors/src/lib.rs", 8),
+            ("gated-clocks", "crates/fx-clocks/src/lib.rs", 7),
+            ("lint-ok-syntax", "crates/fx-allow/src/lib.rs", 11),
+            ("no-panic-lib", "crates/fx-panic/src/lib.rs", 5),
+            ("ordering-justified", "crates/fx-ordering/src/lib.rs", 9),
+        ],
+        "each rule must fire exactly once, nowhere else: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn violations_fixture_diagnostics_carry_file_line_and_caret() {
+    let report = run_check_with(&fixture("violations"), &fixture_config()).expect("walkable");
+    assert!(!report.is_clean());
+
+    let text = report.render(false);
+    assert!(
+        text.contains("--> crates/fx-panic/src/lib.rs:5:"),
+        "rustc-style file:line:col expected:\n{text}"
+    );
+    assert!(text.contains('^'), "caret underline expected:\n{text}");
+    assert!(
+        text.contains("error[no-panic-lib]"),
+        "rule id in header expected:\n{text}"
+    );
+
+    let json = report.render(true);
+    assert!(json.contains("\"rule\":\"gated-clocks\""), "{json}");
+    assert!(json.contains("\"findings\":5"), "summary count: {json}");
+}
+
+#[test]
+fn clean_fixture_has_no_findings_and_counts_allows() {
+    let report =
+        run_check_with(&fixture("clean"), &fixture_config()).expect("fixture must be walkable");
+    assert!(
+        report.is_clean(),
+        "clean fixture must pass: {:#?}",
+        report.findings
+    );
+    assert_eq!(
+        report.allows, 3,
+        "the three allowlisted sites must be counted"
+    );
+}
+
+#[test]
+fn missing_fixture_root_is_a_typed_error() {
+    let err = run_check_with(&fixture("does-not-exist"), &fixture_config()).unwrap_err();
+    assert!(matches!(err, adv_lint::LintError::NotAWorkspace { .. }));
+}
+
+/// The acceptance gate: the real workspace, under the real policy, is
+/// clean. A seeded violation anywhere in a covered crate turns this red
+/// (and `cargo run -p adv-lint -- check` non-zero) with a file:line
+/// diagnostic.
+#[test]
+fn workspace_is_clean_under_default_policy() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint always sits two levels below the root")
+        .to_path_buf();
+    let report = run_check(&root).expect("workspace must be walkable");
+    assert!(
+        report.is_clean(),
+        "workspace must pass its own linter:\n{}",
+        report.render(false)
+    );
+    assert!(report.files_checked > 100, "whole workspace was walked");
+    assert!(report.allows > 20, "allowlist audit trail present");
+}
+
+/// Simulates the driver's seeded-violation check without touching the real
+/// tree: the same engine, pointed at a copy of the violations fixture laid
+/// out like a covered crate, reports the seeded `unwrap()` with its
+/// location.
+#[test]
+fn seeded_unwrap_in_a_covered_crate_is_reported_with_location() {
+    let report = run_check_with(
+        &fixture("violations"),
+        &LintConfig {
+            no_panic_crates: vec!["fx-panic".into()],
+            index_check_crates: vec![],
+            clock_crates: vec![],
+        },
+    )
+    .expect("walkable");
+    let hit = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "no-panic-lib")
+        .expect("the seeded unwrap must be found");
+    assert_eq!(
+        (hit.path.as_str(), hit.line),
+        ("crates/fx-panic/src/lib.rs", 5)
+    );
+    assert!(hit.snippet.contains("unwrap"), "{:?}", hit.snippet);
+}

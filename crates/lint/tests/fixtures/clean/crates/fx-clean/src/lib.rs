@@ -1,0 +1,58 @@
+//! Clean fixture: every rule's pattern appears here in compliant or
+//! allowlisted form, so the linter must report zero findings even with all
+//! scoped rules enabled for this crate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static TICKS: AtomicU64 = AtomicU64::new(0);
+
+/// The crate's typed error.
+#[derive(Debug)]
+pub enum CleanError {
+    /// The input was empty.
+    Empty,
+}
+
+/// Fallible API on the crate error type (compliant with
+/// `crate-error-types`).
+pub fn first(values: &[u64]) -> Result<u64, CleanError> {
+    // `.first()` instead of `values[0]` (compliant with `no-panic-lib`,
+    // including the indexing check).
+    values.first().copied().ok_or(CleanError::Empty)
+}
+
+/// A justified atomic site (compliant with `ordering-justified`).
+pub fn tick() -> u64 {
+    // lint-ok(ordering-justified): independent counter; readers tolerate
+    // stale values and nothing is published through it
+    TICKS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// An allowlisted clock read (compliant with `gated-clocks`): timing is
+/// this function's documented purpose.
+pub fn measure<F: FnOnce()>(f: F) -> std::time::Duration {
+    // lint-ok(gated-clocks): measuring wall time is the feature here
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}
+
+/// An allowlisted unwrap (compliant with `no-panic-lib`): the value was
+/// checked the line before.
+pub fn double_checked(v: Option<u64>) -> u64 {
+    if v.is_none() {
+        return 0;
+    }
+    // lint-ok(no-panic-lib): is_none checked directly above
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn everything_still_works() {
+        assert_eq!(super::first(&[7]).unwrap(), 7);
+        assert_eq!(super::double_checked(Some(3)), 3);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: exactly one `gated-clocks` violation (the `Instant::now`).
+
+use std::time::Instant;
+
+/// Reads the clock in library code with no gate — the violation.
+pub fn stamp() -> Instant {
+    Instant::now()
+}

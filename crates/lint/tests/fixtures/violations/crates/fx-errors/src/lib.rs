@@ -1,0 +1,30 @@
+//! Fixture: exactly one `crate-error-types` violation (the `String` error).
+
+/// The crate's own error type; returning it is compliant.
+#[derive(Debug)]
+pub struct FxError(pub String);
+
+/// Public fallible API with a stringly error — the violation.
+pub fn load(path: &str) -> Result<Vec<u8>, String> {
+    Err(format!("cannot load {path}"))
+}
+
+/// Typed crate error; must NOT be a finding.
+pub fn load_typed(path: &str) -> Result<Vec<u8>, FxError> {
+    Err(FxError(format!("cannot load {path}")))
+}
+
+/// Non-error trait object return; must NOT be a finding.
+pub fn handlers() -> Vec<Box<dyn Fn() -> u32>> {
+    Vec::new()
+}
+
+/// Private fns are out of scope; must NOT be a finding.
+fn internal() -> Result<(), String> {
+    Ok(())
+}
+
+/// Keeps `internal` used so the fixture stays warning-free if compiled.
+pub fn touch() {
+    let _ = internal();
+}

@@ -1,0 +1,21 @@
+//! Fixture: exactly one `ordering-justified` violation (the bare load).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the counter without justifying the ordering — the violation.
+pub fn hits() -> u64 {
+    HITS.load(Ordering::Relaxed)
+}
+
+/// A justified site on the same atomic; must NOT be a finding.
+pub fn bump() {
+    // lint-ok(ordering-justified): independent counter, no data published
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// `cmp::Ordering` is not an atomic ordering; must NOT be a finding.
+pub fn compare(a: u64, b: u64) -> std::cmp::Ordering {
+    a.cmp(&b)
+}

@@ -1,0 +1,17 @@
+//! Fixture: exactly one `no-panic-lib` violation (the `unwrap` below).
+
+/// Parses a port, panicking on bad input — the violation under test.
+pub fn parse_port(s: &str) -> u16 {
+    s.parse().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    // Panics in test code are fine; this must NOT be a finding.
+    #[test]
+    fn unwrap_in_tests_is_allowed() {
+        assert_eq!(super::parse_port("80"), 80);
+        let v: Vec<u32> = vec![1];
+        assert_eq!(v[0], v.first().copied().unwrap());
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod registry;
+pub mod sync;
 pub mod trace;
 
 pub use registry::{
@@ -91,18 +92,25 @@ fn init_level_from_env() -> ObsLevel {
         .and_then(|v| ObsLevel::from_name(&v))
         .unwrap_or(ObsLevel::Off);
     // Keep an explicit `set_level` that raced ahead of us.
+    // lint-ok(ordering-justified): the level byte is self-contained state;
+    // the CAS only needs atomicity and the follow-up load only needs to see
+    // *a* committed value — both orderings are free to be Relaxed.
     let _ = LEVEL.compare_exchange(
         LEVEL_UNSET,
         from_env as u8,
         Ordering::Relaxed,
         Ordering::Relaxed,
     );
+    // lint-ok(ordering-justified): see the CAS above; any committed level
+    // byte is a valid answer here.
     decode(LEVEL.load(Ordering::Relaxed))
 }
 
 /// The current telemetry level (initialised from `ADV_OBS` on first call).
 #[inline]
 pub fn level() -> ObsLevel {
+    // lint-ok(ordering-justified): a momentarily stale level only delays
+    // when instrumentation switches on/off; no data is guarded by it.
     match LEVEL.load(Ordering::Relaxed) {
         LEVEL_UNSET => init_level_from_env(),
         v => decode(v),
@@ -111,6 +119,8 @@ pub fn level() -> ObsLevel {
 
 /// Overrides the telemetry level for the whole process.
 pub fn set_level(level: ObsLevel) {
+    // lint-ok(ordering-justified): last-writer-wins flag; readers tolerate
+    // observing the change late (see `level`).
     LEVEL.store(level as u8, Ordering::Relaxed);
 }
 

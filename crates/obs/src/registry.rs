@@ -9,6 +9,7 @@
 //! approximate to one bucket's width, exact at the observed extremes
 //! (results are clamped to the recorded min/max).
 
+use crate::sync::lock_unpoisoned;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -73,6 +74,9 @@ impl Counter {
     /// Adds `n`, saturating at `u64::MAX`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // lint-ok(ordering-justified): independent monotone counter; no
+        // other memory is published through it and snapshot readers
+        // tolerate any interleaving of concurrent adds.
         let _ = self
             .value
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
@@ -88,6 +92,8 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // lint-ok(ordering-justified): reading a monotone counter; staleness
+        // is acceptable and no dependent data is read afterwards.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -110,6 +116,8 @@ impl Gauge {
     /// Sets the gauge.
     #[inline]
     pub fn set(&self, v: f64) {
+        // lint-ok(ordering-justified): last-writer-wins value; the bits are
+        // self-contained, nothing else is synchronized by this store.
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
@@ -118,6 +126,9 @@ impl Gauge {
     /// callers regardless of interleaving.
     #[inline]
     pub fn set_max(&self, v: f64) {
+        // lint-ok(ordering-justified): the CAS loop's correctness (monotone
+        // maximum) depends only on atomicity of the exchange, not on the
+        // ordering of surrounding memory; loom's obs model check pins this.
         let _ = self
             .bits
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
@@ -131,6 +142,8 @@ impl Gauge {
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // lint-ok(ordering-justified): reading a self-contained value; no
+        // dependent non-atomic data is guarded by this load.
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 }
@@ -176,17 +189,29 @@ impl Histogram {
             return;
         }
         let idx = self.bounds.partition_point(|&b| v > b);
-        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        // `partition_point` is at most `bounds.len()` and `counts` has
+        // `bounds.len() + 1` entries, so the lookup cannot miss; `get`
+        // keeps the hot path free of panic machinery regardless.
+        if let Some(bucket) = self.counts.get(idx) {
+            // lint-ok(ordering-justified): bucket counts are mutually
+            // independent; snapshot consistency across buckets/sum/min/max
+            // is explicitly approximate (see module docs).
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        // lint-ok(ordering-justified): sum/min/max are independent CAS
+        // loops; only atomicity matters, cross-field skew is documented.
         let _ = self
             .sum_bits
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
                 Some((f64::from_bits(bits) + v).to_bits())
             });
+        // lint-ok(ordering-justified): same contract as the sum CAS above.
         let _ = self
             .min_bits
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
                 (v < f64::from_bits(bits)).then(|| v.to_bits())
             });
+        // lint-ok(ordering-justified): same contract as the sum CAS above.
         let _ = self
             .max_bits
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
@@ -202,20 +227,26 @@ impl Histogram {
 
     /// Point-in-time copy of this histogram's state.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // lint-ok(ordering-justified): snapshots are explicitly
+        // point-in-time-approximate; each bucket load is independent and
+        // no non-atomic data hangs off these counters.
         let mut buckets: Vec<(f64, u64)> = self
             .bounds
             .iter()
             .zip(&self.counts)
             .map(|(&b, c)| (b, c.load(Ordering::Relaxed)))
             .collect();
-        buckets.push((
-            f64::INFINITY,
-            self.counts[self.bounds.len()].load(Ordering::Relaxed),
-        ));
+        if let Some(overflow) = self.counts.last() {
+            // lint-ok(ordering-justified): same contract as the bucket
+            // loads above; `counts` is never empty (bounds.len() + 1).
+            buckets.push((f64::INFINITY, overflow.load(Ordering::Relaxed)));
+        }
         let count = buckets.iter().map(|&(_, c)| c).sum();
         let (min, max) = if count == 0 {
             (0.0, 0.0)
         } else {
+            // lint-ok(ordering-justified): min/max lag their bucket count
+            // at worst one sample under concurrency; documented skew.
             (
                 f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
                 f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
@@ -223,6 +254,8 @@ impl Histogram {
         };
         HistogramSnapshot {
             count,
+            // lint-ok(ordering-justified): approximate-snapshot contract,
+            // as for the bucket loads above.
             sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
             min,
             max,
@@ -284,15 +317,74 @@ enum Metric {
     Histogram(Arc<Histogram>),
 }
 
+impl Metric {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// The kind of a registered metric, for [`MetricError`] diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotone [`Counter`].
+    Counter,
+    /// A last-writer-wins [`Gauge`].
+    Gauge,
+    /// A bucketed [`Histogram`].
+    Histogram,
+}
+
+impl std::fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricKind::Counter => f.write_str("counter"),
+            MetricKind::Gauge => f.write_str("gauge"),
+            MetricKind::Histogram => f.write_str("histogram"),
+        }
+    }
+}
+
+/// A metric name was requested as one kind but already registered as
+/// another — a programming error surfaced as data instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricError {
+    /// The contested metric name.
+    pub name: String,
+    /// The kind the name is already registered as.
+    pub registered: MetricKind,
+    /// The kind this call asked for.
+    pub requested: MetricKind,
+}
+
+impl std::fmt::Display for MetricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "metric '{}' already registered as a {} (requested {})",
+            self.name, self.registered, self.requested
+        )
+    }
+}
+
+impl std::error::Error for MetricError {}
+
 /// A named collection of metrics.
 ///
 /// `counter`/`gauge`/`histogram` get-or-create: the first call for a name
-/// registers the metric, later calls return the same handle. Registering a
-/// name twice with different kinds panics (a programming error, caught
-/// immediately by any test that exercises the call site).
+/// registers the metric, later calls return the same handle. Requesting a
+/// name that is already registered as a different kind is a programming
+/// error; the `try_*` variants report it as a [`MetricError`], while the
+/// infallible variants keep the caller's hot path alive by handing back a
+/// detached (unregistered) metric and bumping [`Registry::kind_mismatches`]
+/// — any test that snapshots the registry sees the mismatch count.
 #[derive(Debug, Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<String, Metric>>,
+    kind_mismatches: Counter,
 }
 
 impl Registry {
@@ -302,50 +394,123 @@ impl Registry {
     }
 
     /// Get-or-create the counter `name`.
-    pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.metrics.lock().expect("registry poisoned");
+    ///
+    /// # Errors
+    ///
+    /// [`MetricError`] if `name` is already registered as another kind.
+    pub fn try_counter(&self, name: &str) -> Result<Arc<Counter>, MetricError> {
+        let mut map = lock_unpoisoned(&self.metrics);
         match map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
         {
-            Metric::Counter(c) => c.clone(),
-            other => panic!("metric '{name}' already registered as {other:?}"),
+            Metric::Counter(c) => Ok(c.clone()),
+            other => Err(MetricError {
+                name: name.to_string(),
+                registered: other.kind(),
+                requested: MetricKind::Counter,
+            }),
         }
     }
 
+    /// Get-or-create the counter `name`; on a kind mismatch returns a
+    /// detached counter and bumps [`Registry::kind_mismatches`].
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.try_counter(name).unwrap_or_else(|_| {
+            self.kind_mismatches.incr();
+            Arc::new(Counter::default())
+        })
+    }
+
     /// Get-or-create the gauge `name`.
-    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.metrics.lock().expect("registry poisoned");
+    ///
+    /// # Errors
+    ///
+    /// [`MetricError`] if `name` is already registered as another kind.
+    pub fn try_gauge(&self, name: &str) -> Result<Arc<Gauge>, MetricError> {
+        let mut map = lock_unpoisoned(&self.metrics);
         match map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
         {
-            Metric::Gauge(g) => g.clone(),
-            other => panic!("metric '{name}' already registered as {other:?}"),
+            Metric::Gauge(g) => Ok(g.clone()),
+            other => Err(MetricError {
+                name: name.to_string(),
+                registered: other.kind(),
+                requested: MetricKind::Gauge,
+            }),
         }
     }
 
+    /// Get-or-create the gauge `name`; on a kind mismatch returns a
+    /// detached gauge and bumps [`Registry::kind_mismatches`].
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.try_gauge(name).unwrap_or_else(|_| {
+            self.kind_mismatches.incr();
+            Arc::new(Gauge::default())
+        })
+    }
+
     /// Get-or-create the histogram `name` with [`DURATION_BOUNDS_NS`].
+    ///
+    /// # Errors
+    ///
+    /// [`MetricError`] if `name` is already registered as another kind.
+    pub fn try_histogram(&self, name: &str) -> Result<Arc<Histogram>, MetricError> {
+        self.try_histogram_with(name, DURATION_BOUNDS_NS)
+    }
+
+    /// Get-or-create the histogram `name` with [`DURATION_BOUNDS_NS`]; on a
+    /// kind mismatch returns a detached histogram and bumps
+    /// [`Registry::kind_mismatches`].
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         self.histogram_with(name, DURATION_BOUNDS_NS)
     }
 
     /// Get-or-create the histogram `name`; `bounds` apply only on first
     /// registration.
-    pub fn histogram_with(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
-        let mut map = self.metrics.lock().expect("registry poisoned");
+    ///
+    /// # Errors
+    ///
+    /// [`MetricError`] if `name` is already registered as another kind.
+    pub fn try_histogram_with(
+        &self,
+        name: &str,
+        bounds: &[f64],
+    ) -> Result<Arc<Histogram>, MetricError> {
+        let mut map = lock_unpoisoned(&self.metrics);
         match map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::with_bounds(bounds))))
         {
-            Metric::Histogram(h) => h.clone(),
-            other => panic!("metric '{name}' already registered as {other:?}"),
+            Metric::Histogram(h) => Ok(h.clone()),
+            other => Err(MetricError {
+                name: name.to_string(),
+                registered: other.kind(),
+                requested: MetricKind::Histogram,
+            }),
         }
+    }
+
+    /// Get-or-create the histogram `name`; `bounds` apply only on first
+    /// registration. On a kind mismatch returns a detached histogram and
+    /// bumps [`Registry::kind_mismatches`].
+    pub fn histogram_with(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.try_histogram_with(name, bounds).unwrap_or_else(|_| {
+            self.kind_mismatches.incr();
+            Arc::new(Histogram::with_bounds(bounds))
+        })
+    }
+
+    /// How many infallible lookups hit a kind mismatch and fell back to a
+    /// detached metric. Non-zero means a programming error somewhere.
+    pub fn kind_mismatches(&self) -> u64 {
+        self.kind_mismatches.get()
     }
 
     /// Point-in-time view of every registered metric, sorted by name.
     pub fn snapshot(&self) -> Snapshot {
-        let map = self.metrics.lock().expect("registry poisoned");
+        let map = lock_unpoisoned(&self.metrics);
         let mut snapshot = Snapshot::default();
         for (name, metric) in map.iter() {
             match metric {
@@ -672,11 +837,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already registered")]
-    fn kind_mismatch_panics() {
+    fn kind_mismatch_is_reported_not_panicked() {
         let r = Registry::new();
-        r.counter("dual");
-        r.gauge("dual");
+        let real = r.counter("dual");
+        let err = r.try_gauge("dual").expect_err("kinds must not alias");
+        assert_eq!(err.name, "dual");
+        assert_eq!(err.registered, MetricKind::Counter);
+        assert_eq!(err.requested, MetricKind::Gauge);
+        assert!(err.to_string().contains("already registered as a counter"));
+
+        // The infallible path stays alive: detached handle, mismatch counted.
+        assert_eq!(r.kind_mismatches(), 0);
+        let detached = r.gauge("dual");
+        detached.set(1.5);
+        assert_eq!(r.kind_mismatches(), 1);
+        real.add(2);
+        assert_eq!(r.snapshot().counter("dual"), Some(2));
+        assert_eq!(r.snapshot().gauge("dual"), None);
+
+        let detached_hist = r.histogram("dual");
+        detached_hist.record(1.0);
+        assert_eq!(r.kind_mismatches(), 2);
+        let detached_counter = r.counter("other");
+        drop(detached_counter);
+        assert_eq!(r.kind_mismatches(), 2, "matching kinds never count");
     }
 
     #[test]

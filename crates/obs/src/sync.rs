@@ -1,0 +1,53 @@
+//! Poison-tolerant locking for observability state.
+//!
+//! Telemetry must never take a process down: if some thread panicked while
+//! holding a metrics or trace lock, the protected state (a metric map, an
+//! event buffer) is still structurally valid — every critical section in
+//! this workspace only pushes, drains, or reads plain data, and none of
+//! them unwind mid-invariant except on allocation failure. Recovering the
+//! guard keeps recording and exporting alive instead of cascading the
+//! panic into every other thread that touches telemetry.
+
+use std::sync::{LockResult, Mutex, MutexGuard, PoisonError};
+
+/// Unwraps any poison-carrying lock result ([`Mutex::lock`],
+/// `Condvar::wait`, `Condvar::wait_timeout`, ...), recovering the guard if
+/// a previous holder panicked.
+///
+/// Generic over the guard type so it also covers `(guard, timeout)` pairs
+/// from timed condvar waits, and guards from `loom`'s lock types (which
+/// reuse `std`'s `LockResult`).
+#[inline]
+pub fn unpoison<Guard>(result: LockResult<Guard>) -> Guard {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+///
+/// See the module docs for why recovery (rather than propagating the
+/// poison) is the right contract for observability state.
+#[inline]
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    unpoison(mutex.lock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn recovers_after_a_panicking_holder() {
+        let m = Arc::new(Mutex::new(7u64));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().expect("first lock cannot be poisoned");
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex must actually be poisoned");
+        assert_eq!(*lock_unpoisoned(&m), 7);
+        *lock_unpoisoned(&m) = 8;
+        assert_eq!(*lock_unpoisoned(&m), 8);
+    }
+}

@@ -14,6 +14,7 @@
 //! [`Span::enter`] is one relaxed atomic load — no clock read, no
 //! allocation.
 
+use crate::sync::lock_unpoisoned;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -80,6 +81,8 @@ impl ThreadBuf {
     fn new() -> ThreadBuf {
         static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
         ThreadBuf {
+            // lint-ok(ordering-justified): unique-id handout; atomicity of
+            // the increment is the whole contract, no memory is published.
             id: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
             stack: Vec::new(),
             events: Vec::new(),
@@ -90,16 +93,18 @@ impl ThreadBuf {
     fn flush(&mut self) {
         let sink = sink();
         if !self.events.is_empty() {
-            let mut events = sink.events.lock().expect("trace sink poisoned");
+            let mut events = lock_unpoisoned(&sink.events);
             let room = MAX_BUFFERED_EVENTS.saturating_sub(events.len());
             if self.events.len() > room {
+                // lint-ok(ordering-justified): independent overflow counter;
+                // readers only report it, nothing synchronizes on it.
                 sink.dropped
                     .fetch_add((self.events.len() - room) as u64, Ordering::Relaxed);
             }
             events.extend(self.events.drain(..).take(room));
         }
         if !self.stats.is_empty() {
-            let mut stats = sink.stats.lock().expect("trace sink poisoned");
+            let mut stats = lock_unpoisoned(&sink.stats);
             for (name, s) in self.stats.drain() {
                 let agg = stats.entry(name).or_default();
                 agg.count += s.count;
@@ -138,6 +143,8 @@ fn sink() -> &'static Sink {
 /// The instant all `start_ns` offsets are measured from (first use wins).
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
+    // lint-ok(gated-clocks): reached only via Span::enter/SpanGuard::drop,
+    // both behind the trace_enabled() level gate.
     *EPOCH.get_or_init(Instant::now)
 }
 
@@ -163,6 +170,8 @@ impl Span {
                 let _ = epoch();
                 buf.stack.push(Frame {
                     name,
+                    // lint-ok(gated-clocks): behind the trace_enabled()
+                    // early return above; span timing IS the feature here.
                     start: Instant::now(),
                     child_ns: 0,
                 });
@@ -231,9 +240,9 @@ pub fn flush_current_thread() {
 pub fn drain() -> (Vec<TraceEvent>, Vec<SpanSummary>) {
     flush_current_thread();
     let sink = sink();
-    let mut events = std::mem::take(&mut *sink.events.lock().expect("trace sink poisoned"));
+    let mut events = std::mem::take(&mut *lock_unpoisoned(&sink.events));
     events.sort_by_key(|e| e.start_ns);
-    let stats = std::mem::take(&mut *sink.stats.lock().expect("trace sink poisoned"));
+    let stats = std::mem::take(&mut *lock_unpoisoned(&sink.stats));
     let mut summaries: Vec<SpanSummary> = stats
         .into_iter()
         .map(|(name, s)| SpanSummary {
@@ -249,6 +258,8 @@ pub fn drain() -> (Vec<TraceEvent>, Vec<SpanSummary>) {
 
 /// Number of events dropped because the sink was at [`MAX_BUFFERED_EVENTS`].
 pub fn dropped_events() -> u64 {
+    // lint-ok(ordering-justified): reporting-only read of an independent
+    // counter; staleness is fine.
     sink().dropped.load(Ordering::Relaxed)
 }
 
@@ -256,8 +267,10 @@ pub fn dropped_events() -> u64 {
 pub fn reset() {
     flush_current_thread();
     let sink = sink();
-    sink.events.lock().expect("trace sink poisoned").clear();
-    sink.stats.lock().expect("trace sink poisoned").clear();
+    lock_unpoisoned(&sink.events).clear();
+    lock_unpoisoned(&sink.stats).clear();
+    // lint-ok(ordering-justified): test/bench-only reset of an independent
+    // counter; no ordering relationship with other state is required.
     sink.dropped.store(0, Ordering::Relaxed);
 }
 

@@ -119,18 +119,31 @@ impl ServeEngine {
         }
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
         let metrics = Arc::new(ServeMetrics::default());
-        let workers = (0..cfg.workers)
-            .map(|i| {
-                let queue = queue.clone();
-                let metrics = metrics.clone();
-                let defense = defense.clone();
-                let cfg = cfg.clone();
-                std::thread::Builder::new()
-                    .name(format!("adv-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &defense, &cfg, &metrics))
-                    .expect("failed to spawn serve worker")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers {
+            let worker_queue = queue.clone();
+            let worker_metrics = metrics.clone();
+            let defense = defense.clone();
+            let worker_cfg = cfg.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("adv-serve-worker-{i}"))
+                .spawn(move || worker_loop(&worker_queue, &defense, &worker_cfg, &worker_metrics));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Unwind cleanly: stop the workers that did start before
+                    // reporting the spawn failure.
+                    queue.close();
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(ServeError::WorkerSpawn(format!(
+                        "worker {i} of {}: {e}",
+                        cfg.workers
+                    )));
+                }
+            }
+        }
         Ok(ServeEngine {
             queue,
             metrics,
@@ -152,6 +165,9 @@ impl ServeEngine {
         let (tx, rx) = mpsc::channel();
         let request = Request {
             input,
+            // lint-ok(gated-clocks): the submission timestamp feeds the
+            // queue-wait/latency fields of ServeResponse — timing is the
+            // serving contract, not incidental instrumentation.
             submitted: Instant::now(),
             tx,
         };
@@ -248,10 +264,10 @@ fn run_batch(
 ) {
     let mut groups: Vec<Vec<Request>> = Vec::new();
     for request in batch {
-        match groups
-            .iter_mut()
-            .find(|g| g[0].input.shape() == request.input.shape())
-        {
+        match groups.iter_mut().find(|g| {
+            g.first()
+                .is_some_and(|r| r.input.shape() == request.input.shape())
+        }) {
             Some(group) => group.push(request),
             None => groups.push(vec![request]),
         }
@@ -259,6 +275,8 @@ fn run_batch(
 
     for group in groups {
         let _batch_span = Span::enter("serve/batch");
+        // lint-ok(gated-clocks): batch start time feeds the queue_wait and
+        // latency response fields; measuring it is part of the API.
         let started = Instant::now();
         let inputs: Vec<Tensor> = group.iter().map(|r| r.input.clone()).collect();
         let stacked = {

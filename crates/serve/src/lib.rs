@@ -35,7 +35,7 @@
 
 mod engine;
 mod metrics;
-mod queue;
+pub mod queue;
 
 pub use engine::{PendingVerdict, ServeConfig, ServeEngine, ServeResponse};
 pub use metrics::MetricsSnapshot;
@@ -55,6 +55,8 @@ pub enum ServeError {
     Timeout,
     /// Rejected engine configuration.
     InvalidConfig(String),
+    /// The OS refused to start a worker thread.
+    WorkerSpawn(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -66,6 +68,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Disconnected => write!(f, "engine terminated without responding"),
             ServeError::Timeout => write!(f, "timed out waiting for a verdict"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ServeError::WorkerSpawn(msg) => write!(f, "cannot spawn worker thread: {msg}"),
         }
     }
 }

@@ -144,6 +144,55 @@ impl ServeMetrics {
     }
 }
 
+/// Model check for the documented queue-depth race (see
+/// [`ServeMetrics::record_submitted`]): the depth is sampled inside the
+/// queue's critical section but recorded *outside* it, so a submitter can
+/// record a stale (smaller) sample after a later, larger one. The check
+/// drives real pushes through [`BoundedQueue`](crate::queue::BoundedQueue)
+/// under perturbed schedules and asserts the gauge always lands on the
+/// maximum of the sampled depths — i.e. the race can delay the high-water
+/// mark but never lose it, which is exactly the "benign" claim in the doc.
+#[cfg(all(loom, test))]
+mod loom_checks {
+    use super::*;
+    use crate::queue::BoundedQueue;
+
+    #[test]
+    fn queue_depth_gauge_race_is_benign() {
+        loom::model(|| {
+            let queue = Arc::new(BoundedQueue::new(64));
+            let metrics = Arc::new(ServeMetrics::default());
+            let handles: Vec<_> = (0..3)
+                .map(|producer| {
+                    let queue = queue.clone();
+                    let metrics = metrics.clone();
+                    loom::thread::spawn(move || {
+                        let mut sampled = Vec::new();
+                        for i in 0..4u64 {
+                            if let Ok(depth) = queue.try_push(producer * 10 + i) {
+                                metrics.record_submitted(depth);
+                                sampled.push(depth as u64);
+                            }
+                        }
+                        sampled
+                    })
+                })
+                .collect();
+            let mut all_sampled = Vec::new();
+            for handle in handles {
+                all_sampled.extend(handle.join().expect("producer panicked"));
+            }
+            let snapshot = metrics.snapshot();
+            let expected_max = all_sampled.iter().copied().max().unwrap_or(0);
+            assert_eq!(
+                snapshot.max_queue_depth, expected_max,
+                "a stale depth sample overwrote a larger one (sampled {all_sampled:?})"
+            );
+            assert_eq!(snapshot.submitted, all_sampled.len() as u64);
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,9 +5,14 @@
 //! up to `max` items, lingering at most `max_wait` after the first item so
 //! lightly-loaded queues still flush promptly.
 
+use adv_obs::sync::unpoison;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+#[cfg(loom)]
+use loom::sync::{Condvar, Mutex};
+#[cfg(not(loom))]
+use std::sync::{Condvar, Mutex};
 
 /// Why a push was refused.
 #[derive(Debug, PartialEq, Eq)]
@@ -53,7 +58,7 @@ impl<T> BoundedQueue<T> {
     /// Returns the item back inside [`PushError::Full`] when at capacity and
     /// [`PushError::Closed`] after [`close`](Self::close).
     pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
-        let mut guard = self.inner.lock().expect("queue poisoned");
+        let mut guard = unpoison(self.inner.lock());
         if guard.closed {
             return Err(PushError::Closed(item));
         }
@@ -69,13 +74,18 @@ impl<T> BoundedQueue<T> {
 
     /// Current number of queued items.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        unpoison(self.inner.lock()).items.len()
+    }
+
+    /// `true` when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Closes the queue: future pushes fail, consumers drain what remains and
     /// then observe end-of-stream.
     pub fn close(&self) {
-        self.inner.lock().expect("queue poisoned").closed = true;
+        unpoison(self.inner.lock()).closed = true;
         self.not_empty.notify_all();
     }
 
@@ -87,7 +97,7 @@ impl<T> BoundedQueue<T> {
     /// use this as their shutdown signal, so close-time stragglers are still
     /// delivered.
     pub fn pop_batch(&self, max: usize, max_wait: Duration) -> Option<Vec<T>> {
-        let mut guard = self.inner.lock().expect("queue poisoned");
+        let mut guard = unpoison(self.inner.lock());
         loop {
             if !guard.items.is_empty() {
                 break;
@@ -95,10 +105,12 @@ impl<T> BoundedQueue<T> {
             if guard.closed {
                 return None;
             }
-            guard = self.not_empty.wait(guard).expect("queue poisoned");
+            guard = unpoison(self.not_empty.wait(guard));
         }
 
         let mut batch = Vec::with_capacity(max.min(guard.items.len()));
+        // lint-ok(gated-clocks): the batching deadline is the feature —
+        // `max_wait` is measured in wall-clock time by contract.
         let deadline = Instant::now() + max_wait;
         loop {
             while batch.len() < max {
@@ -110,14 +122,12 @@ impl<T> BoundedQueue<T> {
             if batch.len() >= max || guard.closed {
                 break;
             }
+            // lint-ok(gated-clocks): same deadline contract as above.
             let now = Instant::now();
             if now >= deadline {
                 break;
             }
-            let (g, timeout) = self
-                .not_empty
-                .wait_timeout(guard, deadline - now)
-                .expect("queue poisoned");
+            let (g, timeout) = unpoison(self.not_empty.wait_timeout(guard, deadline - now));
             guard = g;
             if guard.items.is_empty() && timeout.timed_out() {
                 break;

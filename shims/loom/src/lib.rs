@@ -1,0 +1,347 @@
+//! Offline stand-in for the [loom](https://docs.rs/loom) model checker.
+//!
+//! Real loom exhaustively enumerates thread interleavings under the C11
+//! memory model. This build environment has no registry access, so this
+//! shim keeps loom's API surface — `model`, `loom::thread`, `loom::sync` —
+//! letting `#[cfg(loom)]` test code compile unchanged, and substitutes the
+//! exhaustive search with *deterministic schedule perturbation*:
+//!
+//! - [`model`] runs the body for a fixed number of iterations
+//!   (`LOOM_ITERS`, default 64), re-seeding the scheduler each time;
+//! - every shim-wrapped operation (mutex lock, condvar wait/notify, atomic
+//!   access, thread spawn) consults a per-thread LCG derived from the
+//!   iteration seed and injects `std::thread::yield_now` calls, so each
+//!   iteration explores a different OS-level schedule.
+//!
+//! This is a stress harness, not a proof: it cannot exhibit non-SC
+//! behaviors (everything executes on real hardware through `std` types) and
+//! it samples schedules instead of enumerating them. It reliably catches
+//! lost-wakeup, double-drain, and ordering-by-luck bugs in practice, and it
+//! keeps the test code honest against the day the real checker is
+//! available. The same `cfg(loom)` build with the real crate is a drop-in
+//! upgrade.
+
+pub mod hint {
+    //! Spin-loop hints (pass-through).
+
+    /// Emits a spin-loop hint after a possible injected yield.
+    pub fn spin_loop() {
+        crate::schedule::maybe_yield();
+        std::hint::spin_loop();
+    }
+}
+
+pub(crate) mod schedule {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Seed shared by every thread of the current model iteration.
+    static ITERATION_SEED: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+    /// Distinguishes threads so they draw different yield streams.
+    static THREAD_SALT: AtomicU64 = AtomicU64::new(1);
+
+    thread_local! {
+        static RNG: Cell<u64> = const { Cell::new(0) };
+    }
+
+    fn splitmix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub(crate) fn begin_iteration(iteration: u64) {
+        ITERATION_SEED.store(splitmix(iteration.wrapping_add(1)), Ordering::Relaxed);
+        // Fresh salt space per iteration so re-used OS threads re-seed.
+        THREAD_SALT.store(iteration.wrapping_mul(1 << 20) | 1, Ordering::Relaxed);
+        RNG.with(|rng| rng.set(0));
+    }
+
+    fn next(rng: &Cell<u64>) -> u64 {
+        let mut state = rng.get();
+        if state == 0 {
+            let salt = THREAD_SALT.fetch_add(1, Ordering::Relaxed);
+            state = splitmix(ITERATION_SEED.load(Ordering::Relaxed) ^ splitmix(salt));
+        }
+        // Knuth's MMIX LCG; the top bits decide, the full state advances.
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        rng.set(state);
+        state >> 33
+    }
+
+    /// Yields the OS scheduler with probability 1/4, twice with 1/32.
+    pub(crate) fn maybe_yield() {
+        let draw = RNG.with(next);
+        if draw.is_multiple_of(4) {
+            std::thread::yield_now();
+        }
+        if draw.is_multiple_of(32) {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// How many perturbed schedules [`model`] explores (`LOOM_ITERS`,
+/// default 64).
+fn iterations() -> u64 {
+    std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// Runs `f` under the perturbed-schedule harness; see the crate docs for
+/// how this differs from real loom's exhaustive exploration.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for i in 0..iterations() {
+        schedule::begin_iteration(i);
+        f();
+    }
+}
+
+pub mod thread {
+    //! `std::thread` wrappers that seed the yield-injecting scheduler.
+
+    pub use std::thread::JoinHandle;
+
+    /// Spawns a thread whose shim operations draw from this iteration's
+    /// schedule stream.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(move || {
+            crate::schedule::maybe_yield();
+            f()
+        })
+    }
+
+    /// Explicit scheduling point.
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+pub mod sync {
+    //! `std::sync` wrappers with scheduling points at every operation.
+
+    use std::sync::LockResult;
+    use std::time::Duration;
+
+    pub use std::sync::Arc;
+    pub use std::sync::MutexGuard;
+    pub use std::sync::WaitTimeoutResult;
+
+    /// Mutex with a scheduling point before each acquisition.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates the mutex.
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Locks, yielding first so contenders interleave differently per
+        /// iteration.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            crate::schedule::maybe_yield();
+            self.0.lock()
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> LockResult<T> {
+            self.0.into_inner()
+        }
+    }
+
+    /// Condvar with scheduling points around waits and notifies.
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        /// Creates the condvar.
+        pub fn new() -> Condvar {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        /// Waits; yields first so the waker can run ahead.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            crate::schedule::maybe_yield();
+            self.0.wait(guard)
+        }
+
+        /// Timed wait; yields first.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            crate::schedule::maybe_yield();
+            self.0.wait_timeout(guard, dur)
+        }
+
+        /// Wakes one waiter, with a scheduling point after the notify so
+        /// the woken thread may run immediately.
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+            crate::schedule::maybe_yield();
+        }
+
+        /// Wakes all waiters; scheduling point as in
+        /// [`notify_one`](Self::notify_one).
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+            crate::schedule::maybe_yield();
+        }
+    }
+
+    pub mod atomic {
+        //! Atomics with a scheduling point before every access.
+
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! shim_atomic {
+            ($name:ident, $std:path, $value:ty) => {
+                /// Atomic with injected scheduling points.
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    /// Creates the atomic.
+                    pub const fn new(v: $value) -> $name {
+                        $name(<$std>::new(v))
+                    }
+
+                    /// Load with a scheduling point.
+                    pub fn load(&self, order: Ordering) -> $value {
+                        crate::schedule::maybe_yield();
+                        self.0.load(order)
+                    }
+
+                    /// Store with a scheduling point.
+                    pub fn store(&self, v: $value, order: Ordering) {
+                        crate::schedule::maybe_yield();
+                        self.0.store(v, order)
+                    }
+
+                    /// Compare-exchange with a scheduling point.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $value,
+                        new: $value,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$value, $value> {
+                        crate::schedule::maybe_yield();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// `fetch_update` with a scheduling point per retry.
+                    pub fn fetch_update<F>(
+                        &self,
+                        set_order: Ordering,
+                        fetch_order: Ordering,
+                        mut f: F,
+                    ) -> Result<$value, $value>
+                    where
+                        F: FnMut($value) -> Option<$value>,
+                    {
+                        self.0.fetch_update(set_order, fetch_order, |v| {
+                            crate::schedule::maybe_yield();
+                            f(v)
+                        })
+                    }
+                }
+            };
+        }
+
+        shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        shim_atomic!(AtomicU8, std::sync::atomic::AtomicU8, u8);
+        shim_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+        macro_rules! shim_fetch_add {
+            ($name:ident, $value:ty) => {
+                impl $name {
+                    /// Fetch-add with a scheduling point.
+                    pub fn fetch_add(&self, v: $value, order: Ordering) -> $value {
+                        crate::schedule::maybe_yield();
+                        self.0.fetch_add(v, order)
+                    }
+                }
+            };
+        }
+
+        shim_fetch_add!(AtomicU64, u64);
+        shim_fetch_add!(AtomicUsize, usize);
+        shim_fetch_add!(AtomicU8, u8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+    #[test]
+    fn model_runs_the_configured_iteration_count() {
+        static RUNS: StdAtomicU64 = StdAtomicU64::new(0);
+        RUNS.store(0, StdOrdering::SeqCst);
+        model(|| {
+            RUNS.fetch_add(1, StdOrdering::SeqCst);
+        });
+        assert_eq!(RUNS.load(StdOrdering::SeqCst), iterations());
+    }
+
+    #[test]
+    fn shim_mutex_and_condvar_round_trip() {
+        let m = sync::Arc::new(sync::Mutex::new(0u32));
+        let cv = sync::Arc::new(sync::Condvar::new());
+        let (m2, cv2) = (m.clone(), cv.clone());
+        let t = thread::spawn(move || {
+            *m2.lock().unwrap() = 7;
+            cv2.notify_one();
+        });
+        let mut guard = m.lock().unwrap();
+        while *guard == 0 {
+            let (g, _timeout) = cv
+                .wait_timeout(guard, std::time::Duration::from_millis(50))
+                .unwrap();
+            guard = g;
+        }
+        assert_eq!(*guard, 7);
+        drop(guard);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn shim_atomics_behave_like_std() {
+        let a = sync::atomic::AtomicU64::new(1);
+        a.fetch_add(2, sync::atomic::Ordering::Relaxed);
+        assert_eq!(a.load(sync::atomic::Ordering::Relaxed), 3);
+        let _ = a.fetch_update(
+            sync::atomic::Ordering::Relaxed,
+            sync::atomic::Ordering::Relaxed,
+            |v| Some(v * 2),
+        );
+        assert_eq!(a.load(sync::atomic::Ordering::Relaxed), 6);
+        assert_eq!(
+            a.compare_exchange(
+                6,
+                9,
+                sync::atomic::Ordering::Relaxed,
+                sync::atomic::Ordering::Relaxed
+            ),
+            Ok(6)
+        );
+    }
+}
