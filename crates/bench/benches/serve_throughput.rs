@@ -13,6 +13,7 @@
 //! the fused pass deduplicates.
 
 use adv_bench::{image_batch, trained_autoencoders, trained_classifier};
+use adv_chaos::FaultInjector;
 use adv_magnet::{
     DefenseScheme, Detector, JsdDetector, MagnetDefense, ReconstructionDetector, ReconstructionNorm,
 };
@@ -52,7 +53,11 @@ fn corpus_items() -> Vec<Tensor> {
     (0..CORPUS).map(|i| x.index_axis0(i).unwrap()).collect()
 }
 
-fn server(defense: Arc<MagnetDefense>, max_batch: usize) -> ServeEngine {
+fn server(
+    defense: Arc<MagnetDefense>,
+    max_batch: usize,
+    injector: Option<Arc<FaultInjector>>,
+) -> ServeEngine {
     ServeEngine::start(
         defense,
         ServeConfig {
@@ -61,6 +66,8 @@ fn server(defense: Arc<MagnetDefense>, max_batch: usize) -> ServeEngine {
             queue_capacity: 2 * CORPUS,
             workers: 1,
             scheme: DefenseScheme::Full,
+            injector,
+            ..ServeConfig::default()
         },
     )
     .unwrap()
@@ -86,7 +93,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
     });
 
     for max_batch in [1usize, 8, 32] {
-        let engine = server(defense.clone(), max_batch);
+        let engine = server(defense.clone(), max_batch, None);
         g.bench_function(format!("server_b{max_batch}"), |bench| {
             bench.iter(|| {
                 let pending: Vec<_> = items
@@ -100,6 +107,27 @@ fn bench_serve_throughput(c: &mut Criterion) {
         });
         engine.shutdown();
     }
+
+    // A present-but-empty injector must cost nothing measurable versus
+    // `server_b32` above — the hot path pays one Option branch per poll and
+    // never reaches the injector's site table.
+    let engine = server(
+        defense.clone(),
+        32,
+        Some(Arc::new(FaultInjector::disabled())),
+    );
+    g.bench_function("server_b32_noop_injector", |bench| {
+        bench.iter(|| {
+            let pending: Vec<_> = items
+                .iter()
+                .map(|t| engine.submit(t.clone()).unwrap())
+                .collect();
+            for p in pending {
+                black_box(p.wait().unwrap());
+            }
+        })
+    });
+    engine.shutdown();
     g.finish();
 }
 

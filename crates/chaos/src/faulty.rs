@@ -1,0 +1,222 @@
+//! A fault-wrapped defense pipeline.
+//!
+//! [`FaultyDefense`] decorates a shared [`MagnetDefense`] with per-stage
+//! injection points so chaos tests can fail exactly one stage of the
+//! pipeline: detector scoring ([`SITE_DETECT`]), the reformer
+//! ([`SITE_REFORM`]), or the protected classifier ([`SITE_CLASSIFY`]).
+//! The stage structure replicates `MagnetDefense::classify_timed` operation
+//! for operation, so with a no-op injector the verdicts are bit-identical
+//! to the unwrapped defense (pinned by this module's tests).
+
+use crate::FaultInjector;
+use adv_magnet::{
+    DefensePipeline, DefenseScheme, MagnetDefense, MagnetError, StageTimings, Verdict,
+};
+use adv_tensor::Tensor;
+use std::sync::Arc;
+
+/// Injection site evaluated before detector scoring.
+pub const SITE_DETECT: &str = "magnet/detect";
+/// Injection site evaluated before the reformer pass.
+pub const SITE_REFORM: &str = "magnet/reform";
+/// Injection site evaluated before the classifier forward pass.
+pub const SITE_CLASSIFY: &str = "magnet/classify";
+
+/// [`MagnetDefense`] with deterministic faults between its stages.
+#[derive(Debug)]
+pub struct FaultyDefense {
+    inner: Arc<MagnetDefense>,
+    injector: Arc<FaultInjector>,
+}
+
+impl FaultyDefense {
+    /// Wraps `inner` so every pipeline stage consults `injector` first.
+    pub fn new(inner: Arc<MagnetDefense>, injector: Arc<FaultInjector>) -> FaultyDefense {
+        FaultyDefense { inner, injector }
+    }
+
+    /// The wrapped defense.
+    pub fn inner(&self) -> &Arc<MagnetDefense> {
+        &self.inner
+    }
+
+    /// The injector driving this wrapper's stages.
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
+    }
+
+    /// Applies the injector at `site`, mapping injected errors into the
+    /// defense's error type (panics and delays pass through unchanged).
+    fn inject(&self, site: &'static str) -> adv_magnet::Result<()> {
+        self.injector.apply(site).map_err(|e| MagnetError::Stage {
+            stage: site.to_string(),
+            message: e.to_string(),
+        })
+    }
+}
+
+impl DefensePipeline for FaultyDefense {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn classify_batch(
+        &self,
+        x: &Tensor,
+        scheme: DefenseScheme,
+    ) -> adv_magnet::Result<(Vec<Verdict>, StageTimings)> {
+        let n = x.shape().dim(0);
+        let mut timings = StageTimings::default();
+
+        // lint-ok(gated-clocks): StageTimings is part of the pipeline API;
+        // the clock read is the feature (same contract as classify_timed).
+        let t0 = std::time::Instant::now();
+        let detected = match scheme {
+            DefenseScheme::DetectorOnly | DefenseScheme::Full => {
+                self.inject(SITE_DETECT)?;
+                let d = self.inner.detect(x)?;
+                timings.detect = t0.elapsed();
+                d
+            }
+            _ => vec![false; n],
+        };
+
+        // lint-ok(gated-clocks): see above — the stage timing is the API.
+        let t1 = std::time::Instant::now();
+        let input = match scheme {
+            DefenseScheme::ReformerOnly | DefenseScheme::Full => {
+                self.inject(SITE_REFORM)?;
+                let r = self.inner.reform(x)?;
+                timings.reform = t1.elapsed();
+                r
+            }
+            _ => x.clone(),
+        };
+
+        // lint-ok(gated-clocks): see above — the stage timing is the API.
+        let t2 = std::time::Instant::now();
+        self.inject(SITE_CLASSIFY)?;
+        let preds = self.inner.classifier().predict_shared(&input)?;
+        timings.classify = t2.elapsed();
+
+        let verdicts = detected
+            .into_iter()
+            .zip(preds)
+            .map(|(d, p)| {
+                if d {
+                    Verdict::Detected
+                } else {
+                    Verdict::Classified(p)
+                }
+            })
+            .collect();
+        Ok((verdicts, timings))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultError, FaultPlan, SiteFaults};
+    use adv_magnet::arch::{mnist_ae_two, mnist_classifier};
+    use adv_magnet::{Autoencoder, Detector, ReconstructionDetector, ReconstructionNorm};
+    use adv_nn::loss::ReconstructionLoss;
+    use adv_nn::Sequential;
+    use adv_tensor::Shape;
+
+    fn toy_defense() -> Arc<MagnetDefense> {
+        let ae = Autoencoder::new(
+            &mnist_ae_two(1, 3),
+            ReconstructionLoss::MeanSquaredError,
+            0.0,
+            1,
+        )
+        .unwrap();
+        let classifier = Sequential::from_specs(&mnist_classifier(8, 1, 2, 4, 8, 10), 2).unwrap();
+        let det: Box<dyn Detector> = Box::new(ReconstructionDetector::new(
+            ae.clone(),
+            ReconstructionNorm::L2,
+        ));
+        let mut d = MagnetDefense::new("chaos-toy", vec![det], ae, classifier);
+        d.calibrate_detectors(&batch(64), 0.05).unwrap();
+        Arc::new(d)
+    }
+
+    fn batch(n: usize) -> Tensor {
+        Tensor::from_fn(Shape::nchw(n, 1, 8, 8), |i| ((i * 7) % 11) as f32 / 11.0)
+    }
+
+    #[test]
+    fn noop_injector_is_bit_identical_to_unwrapped_defense() {
+        let defense = toy_defense();
+        let faulty = FaultyDefense::new(defense.clone(), Arc::new(FaultInjector::disabled()));
+        let x = batch(10);
+        for scheme in DefenseScheme::ALL {
+            let serial = defense.classify(&x, scheme).unwrap();
+            let (wrapped, _) = faulty.classify_batch(&x, scheme).unwrap();
+            assert_eq!(wrapped, serial, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn injected_stage_error_surfaces_as_stage_error() {
+        let defense = toy_defense();
+        let plan = FaultPlan::new(3).with(SiteFaults::at(SITE_REFORM).errors(1.0));
+        let faulty = FaultyDefense::new(defense, Arc::new(FaultInjector::new(plan).unwrap()));
+        let err = faulty
+            .classify_batch(&batch(2), DefenseScheme::Full)
+            .unwrap_err();
+        match err {
+            MagnetError::Stage { stage, .. } => assert_eq!(stage, SITE_REFORM),
+            other => panic!("expected Stage error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn faults_on_skipped_stages_do_not_fire() {
+        let defense = toy_defense();
+        let plan = FaultPlan::new(3).with(SiteFaults::at(SITE_REFORM).errors(1.0));
+        let faulty =
+            FaultyDefense::new(defense.clone(), Arc::new(FaultInjector::new(plan).unwrap()));
+        // DetectorOnly never runs the reformer, so the reform site is never
+        // consulted and the verdicts match the clean pipeline.
+        let x = batch(4);
+        let (got, _) = faulty
+            .classify_batch(&x, DefenseScheme::DetectorOnly)
+            .unwrap();
+        assert_eq!(
+            got,
+            defense.classify(&x, DefenseScheme::DetectorOnly).unwrap()
+        );
+        assert_eq!(faulty.injector().stats().errors, 0);
+    }
+
+    #[test]
+    fn injected_panic_carries_the_marker() {
+        let defense = toy_defense();
+        let plan = FaultPlan::new(5).with(SiteFaults::at(SITE_CLASSIFY).panics(1.0).limit(1));
+        let faulty = FaultyDefense::new(defense, Arc::new(FaultInjector::new(plan).unwrap()));
+        let x = batch(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            faulty.classify_batch(&x, DefenseScheme::None)
+        }));
+        let payload = caught.unwrap_err();
+        let text = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(text.starts_with(crate::PANIC_MARKER), "{text}");
+        // The cap is spent: the next batch goes through cleanly.
+        faulty.classify_batch(&x, DefenseScheme::None).unwrap();
+    }
+
+    #[test]
+    fn injected_error_display_names_site_and_hit() {
+        let e = FaultError::Injected {
+            site: "magnet/reform".into(),
+            hit: 7,
+        };
+        assert!(e.to_string().contains("magnet/reform"));
+        assert!(e.to_string().contains('7'));
+    }
+}

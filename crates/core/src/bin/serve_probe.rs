@@ -113,6 +113,7 @@ fn run_served(
             queue_capacity: samples.len().max(1),
             workers: 1,
             scheme: DefenseScheme::Full,
+            ..ServeConfig::default()
         },
     )?;
     let started = Instant::now();

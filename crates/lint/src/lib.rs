@@ -94,8 +94,8 @@ pub struct LintConfig {
 
 impl LintConfig {
     /// The workspace policy: the numeric/serving/observability core is
-    /// panic-free and clock-gated; the concurrency core (serve, obs) and
-    /// the linter itself additionally ban unchecked indexing.
+    /// panic-free and clock-gated; the concurrency core (serve, obs,
+    /// chaos) and the linter itself additionally ban unchecked indexing.
     pub fn workspace_default() -> LintConfig {
         let s = |names: &[&str]| names.iter().map(|n| n.to_string()).collect();
         LintConfig {
@@ -104,15 +104,17 @@ impl LintConfig {
                 "adv-nn",
                 "adv-serve",
                 "adv-obs",
+                "adv-chaos",
                 "adv-magnet",
                 "adv-lint",
             ]),
-            index_check_crates: s(&["adv-serve", "adv-obs"]),
+            index_check_crates: s(&["adv-serve", "adv-obs", "adv-chaos"]),
             clock_crates: s(&[
                 "adv-tensor",
                 "adv-nn",
                 "adv-serve",
                 "adv-obs",
+                "adv-chaos",
                 "adv-magnet",
                 "adv-data",
                 "adv-attacks",

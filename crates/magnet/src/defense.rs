@@ -54,6 +54,18 @@ impl DefenseScheme {
             DefenseScheme::Full => "With detector & reformer",
         }
     }
+
+    /// The next-cheaper scheme the serving engine degrades to when a stage
+    /// keeps failing: drop the reformer first (`Full → DetectorOnly`), then
+    /// the detectors (`DetectorOnly → None`, i.e. classifier-only).
+    /// [`DefenseScheme::None`] is the floor and maps to itself.
+    pub fn fallback(self) -> DefenseScheme {
+        match self {
+            DefenseScheme::Full => DefenseScheme::DetectorOnly,
+            DefenseScheme::DetectorOnly | DefenseScheme::ReformerOnly => DefenseScheme::None,
+            DefenseScheme::None => DefenseScheme::None,
+        }
+    }
 }
 
 /// Per-input outcome of the defense pipeline.
@@ -94,6 +106,45 @@ impl StageTimings {
     /// Total time across the three stages.
     pub fn total(&self) -> Duration {
         self.detect + self.reform + self.classify
+    }
+}
+
+/// Object-safe view of a batch classification pipeline.
+///
+/// The serving engine (`adv-serve`) drives whatever implements this trait —
+/// normally [`MagnetDefense`] itself, but also wrappers that decorate the
+/// pipeline (the chaos crate's `FaultyDefense` injects faults between
+/// stages). Implementations must be safe to share across worker threads.
+pub trait DefensePipeline: Send + Sync + std::fmt::Debug {
+    /// The pipeline's display name.
+    fn name(&self) -> &str;
+
+    /// Classifies a stacked batch (`[N, C, H, W]`) under `scheme`, returning
+    /// one verdict per input plus per-stage wall-clock timings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector, reformer, and classifier errors.
+    fn classify_batch(
+        &self,
+        x: &Tensor,
+        scheme: DefenseScheme,
+    ) -> Result<(Vec<Verdict>, StageTimings)>;
+}
+
+impl DefensePipeline for MagnetDefense {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn classify_batch(
+        &self,
+        x: &Tensor,
+        scheme: DefenseScheme,
+    ) -> Result<(Vec<Verdict>, StageTimings)> {
+        // The fused pass is the serving hot path: bit-identical to
+        // `classify`, with shared sub-computations memoised per batch.
+        self.classify_fused(x, scheme)
     }
 }
 
@@ -363,6 +414,22 @@ impl MagnetDefense {
             .filter(|(v, &t)| v.defends(t))
             .count();
         Ok(defended as f32 / verdicts.len() as f32)
+    }
+
+    /// Shared access to the protected classifier (pipeline wrappers run the
+    /// final forward pass themselves, e.g. to inject faults between stages).
+    pub fn classifier(&self) -> &Sequential {
+        &self.classifier
+    }
+
+    /// Shared access to the reformer auto-encoder.
+    pub fn reformer(&self) -> &Autoencoder {
+        &self.reformer
+    }
+
+    /// Shared access to the deployed detectors.
+    pub fn detectors(&self) -> &[Box<dyn Detector>] {
+        &self.detectors
     }
 
     /// Mutable access to the protected classifier (for gray-box experiments).

@@ -16,6 +16,14 @@ pub enum MagnetError {
     },
     /// An invalid configuration (e.g. FPR outside `(0, 1)`).
     InvalidArgument(String),
+    /// A named pipeline stage failed while executing a batch (used by
+    /// pipeline wrappers, e.g. deterministic fault injection in `adv-chaos`).
+    Stage {
+        /// The stage (injection site) that failed, e.g. `magnet/reform`.
+        stage: String,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for MagnetError {
@@ -27,6 +35,9 @@ impl fmt::Display for MagnetError {
                 write!(f, "detector {detector} used before calibration")
             }
             MagnetError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            MagnetError::Stage { stage, message } => {
+                write!(f, "pipeline stage {stage} failed: {message}")
+            }
         }
     }
 }

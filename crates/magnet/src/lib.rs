@@ -38,7 +38,7 @@ pub mod threshold;
 pub mod variants;
 
 pub use autoencoder::Autoencoder;
-pub use defense::{DefenseScheme, MagnetDefense, StageTimings, Verdict};
+pub use defense::{DefensePipeline, DefenseScheme, MagnetDefense, StageTimings, Verdict};
 pub use detector::{Detector, JsdDetector, ReconstructionDetector, ReconstructionNorm};
 pub use error::MagnetError;
 pub use fused::InferenceCache;

@@ -1,0 +1,358 @@
+//! Failure-rate circuit breaker with graceful degradation.
+//!
+//! When a worker sees `failure_threshold` consecutive pipeline failures the
+//! breaker opens and the engine falls back one step down the
+//! [`DefenseScheme::fallback`] ladder (`Full → DetectorOnly → None`,
+//! `ReformerOnly → None`), stamping every response served under the reduced
+//! scheme as degraded. While open, one worker is periodically elected (by
+//! CAS, so exactly one probe is in flight) to run a batch under the
+//! original scheme; a successful probe closes the breaker and restores the
+//! configured scheme, a failed probe re-arms the probe timer.
+//!
+//! The breaker is atomics-only: workers consult it per batch group without
+//! taking any lock, and races merely mean a worker serves one more batch
+//! under the previous scheme — never a lost or duplicated response.
+
+use adv_magnet::DefenseScheme;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::time::Duration;
+
+/// How the engine degrades when the pipeline keeps failing.
+#[derive(Debug, Clone)]
+pub struct DegradePolicy {
+    /// Master switch; disabled means failures never change the scheme.
+    pub enabled: bool,
+    /// Consecutive batch failures that open the breaker (and, while it is
+    /// already open, degrade one further ladder step).
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before probing the original scheme
+    /// again.
+    pub probe_interval: Duration,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            enabled: true,
+            failure_threshold: 8,
+            probe_interval: Duration::from_millis(250),
+        }
+    }
+}
+
+const CLOSED: u8 = 0;
+const OPEN: u8 = 1;
+const PROBING: u8 = 2;
+
+/// How a batch relates to the breaker: ordinary traffic, or the elected
+/// probe of the original scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BatchRole {
+    Normal,
+    Probe,
+}
+
+/// A state transition the engine should count and trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BreakerEvent {
+    /// The breaker opened (or degraded one more step) — traffic now runs
+    /// under `to`.
+    Opened { to: DefenseScheme },
+    /// A probe succeeded; the configured scheme is restored.
+    Closed,
+}
+
+fn encode(scheme: DefenseScheme) -> u8 {
+    match scheme {
+        DefenseScheme::None => 0,
+        DefenseScheme::DetectorOnly => 1,
+        DefenseScheme::ReformerOnly => 2,
+        DefenseScheme::Full => 3,
+    }
+}
+
+fn decode(value: u8) -> DefenseScheme {
+    match value {
+        1 => DefenseScheme::DetectorOnly,
+        2 => DefenseScheme::ReformerOnly,
+        3 => DefenseScheme::Full,
+        _ => DefenseScheme::None,
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Breaker {
+    policy: DegradePolicy,
+    base: DefenseScheme,
+    state: AtomicU8,
+    /// Scheme served while the breaker is not closed (encoded).
+    active: AtomicU8,
+    failures: AtomicU32,
+    opened_at_ns: AtomicU64,
+}
+
+impl Breaker {
+    pub(crate) fn new(base: DefenseScheme, policy: DegradePolicy) -> Breaker {
+        Breaker {
+            policy,
+            base,
+            state: AtomicU8::new(CLOSED),
+            active: AtomicU8::new(encode(base)),
+            failures: AtomicU32::new(0),
+            opened_at_ns: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn is_open(&self) -> bool {
+        // lint-ok(ordering-justified): advisory read for health reporting;
+        // the breaker state machine itself tolerates stale observers (they
+        // serve one batch under the previous scheme).
+        self.policy.enabled && self.state.load(Ordering::Relaxed) != CLOSED
+    }
+
+    /// Scheme to run the next batch group under, plus whether this batch is
+    /// the elected probe of the original scheme.
+    pub(crate) fn scheme_for_batch(&self, now_ns: u64) -> (DefenseScheme, BatchRole) {
+        if !self.policy.enabled {
+            return (self.base, BatchRole::Normal);
+        }
+        // lint-ok(ordering-justified): no data is published through the
+        // state word — schemes are self-contained u8s and a stale read only
+        // delays the scheme switch by one batch.
+        match self.state.load(Ordering::Relaxed) {
+            CLOSED => (self.base, BatchRole::Normal),
+            OPEN => {
+                // lint-ok(ordering-justified): probe timer; staleness just
+                // postpones the probe by one batch.
+                let opened = self.opened_at_ns.load(Ordering::Relaxed);
+                let due =
+                    now_ns.saturating_sub(opened) >= self.policy.probe_interval.as_nanos() as u64;
+                // The CAS elects exactly one prober; losers keep serving
+                // the degraded scheme.
+                // lint-ok(ordering-justified): the CAS only needs to be
+                // atomic — the elected prober reads no data written by
+                // other threads through this word.
+                if due
+                    && self
+                        .state
+                        .compare_exchange(OPEN, PROBING, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    return (self.base, BatchRole::Probe);
+                }
+                // lint-ok(ordering-justified): see state.load above.
+                (
+                    decode(self.active.load(Ordering::Relaxed)),
+                    BatchRole::Normal,
+                )
+            }
+            // lint-ok(ordering-justified): see state.load above.
+            _ => (
+                decode(self.active.load(Ordering::Relaxed)),
+                BatchRole::Normal,
+            ),
+        }
+    }
+
+    /// Records a successful batch; a successful probe closes the breaker.
+    pub(crate) fn on_success(&self, role: BatchRole) -> Option<BreakerEvent> {
+        if !self.policy.enabled {
+            return None;
+        }
+        // lint-ok(ordering-justified): consecutive-failure counter; resets
+        // racing with increments bias toward staying closed, which is the
+        // safe direction.
+        self.failures.store(0, Ordering::Relaxed);
+        if role == BatchRole::Probe {
+            // lint-ok(ordering-justified): scheme word is self-contained;
+            // only the one elected prober restores it before closing.
+            self.active.store(encode(self.base), Ordering::Relaxed);
+            // lint-ok(ordering-justified): single-word state transition by
+            // the one elected prober; observers only need atomicity.
+            self.state.store(CLOSED, Ordering::Relaxed);
+            return Some(BreakerEvent::Closed);
+        }
+        None
+    }
+
+    /// Records a failed batch; crossing the threshold opens (or further
+    /// degrades) the breaker, a failed probe re-arms the probe timer.
+    pub(crate) fn on_failure(&self, role: BatchRole, now_ns: u64) -> Option<BreakerEvent> {
+        if !self.policy.enabled {
+            return None;
+        }
+        if role == BatchRole::Probe {
+            // lint-ok(ordering-justified): probe timer restart + state
+            // hand-back by the one elected prober; atomicity suffices.
+            self.opened_at_ns.store(now_ns, Ordering::Relaxed);
+            // lint-ok(ordering-justified): same hand-back — the elected
+            // prober alone re-opens; word atomicity is all observers need.
+            self.state.store(OPEN, Ordering::Relaxed);
+            return None;
+        }
+        // lint-ok(ordering-justified): consecutive-failure counter — an
+        // off-by-a-few under racing workers shifts *when* the breaker
+        // opens, never whether responses are delivered.
+        let seen = self
+            .failures
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_add(1);
+        if seen < self.policy.failure_threshold {
+            return None;
+        }
+        // lint-ok(ordering-justified): see the counter comment above.
+        self.failures.store(0, Ordering::Relaxed);
+        // lint-ok(ordering-justified): scheme words are self-contained.
+        let state = self.state.load(Ordering::Relaxed);
+        let from = if state == CLOSED {
+            self.base
+        } else {
+            // lint-ok(ordering-justified): see above.
+            decode(self.active.load(Ordering::Relaxed))
+        };
+        let to = from.fallback();
+        if state != CLOSED && to == from {
+            // Already at the bottom of the ladder; stay open.
+            return None;
+        }
+        // Publish the new scheme and timer before flipping the state so a
+        // prober elected right after sees a coherent `opened_at`; with
+        // Relaxed stores another worker could briefly see the old scheme,
+        // which only delays the switch by one batch.
+        // lint-ok(ordering-justified): see above — self-contained words.
+        self.active.store(encode(to), Ordering::Relaxed);
+        // lint-ok(ordering-justified): probe timer word.
+        self.opened_at_ns.store(now_ns, Ordering::Relaxed);
+        // lint-ok(ordering-justified): single-word state flip.
+        self.state.store(OPEN, Ordering::Relaxed);
+        Some(BreakerEvent::Opened { to })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(threshold: u32) -> DegradePolicy {
+        DegradePolicy {
+            enabled: true,
+            failure_threshold: threshold,
+            probe_interval: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn schemes_roundtrip_through_the_encoding() {
+        for scheme in DefenseScheme::ALL {
+            assert_eq!(decode(encode(scheme)), scheme);
+        }
+    }
+
+    #[test]
+    fn opens_after_threshold_and_degrades_one_step() {
+        let b = Breaker::new(DefenseScheme::Full, policy(3));
+        assert_eq!(b.on_failure(BatchRole::Normal, 0), None);
+        assert_eq!(b.on_failure(BatchRole::Normal, 0), None);
+        assert_eq!(
+            b.on_failure(BatchRole::Normal, 0),
+            Some(BreakerEvent::Opened {
+                to: DefenseScheme::DetectorOnly
+            })
+        );
+        assert!(b.is_open());
+        assert_eq!(
+            b.scheme_for_batch(0),
+            (DefenseScheme::DetectorOnly, BatchRole::Normal)
+        );
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_failure_count() {
+        let b = Breaker::new(DefenseScheme::Full, policy(2));
+        assert_eq!(b.on_failure(BatchRole::Normal, 0), None);
+        assert_eq!(b.on_success(BatchRole::Normal), None);
+        assert_eq!(b.on_failure(BatchRole::Normal, 0), None);
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn keeps_degrading_down_the_ladder_then_stays_open() {
+        let b = Breaker::new(DefenseScheme::Full, policy(1));
+        assert_eq!(
+            b.on_failure(BatchRole::Normal, 0),
+            Some(BreakerEvent::Opened {
+                to: DefenseScheme::DetectorOnly
+            })
+        );
+        assert_eq!(
+            b.on_failure(BatchRole::Normal, 0),
+            Some(BreakerEvent::Opened {
+                to: DefenseScheme::None
+            })
+        );
+        // Bottom of the ladder: stays open, no further event.
+        assert_eq!(b.on_failure(BatchRole::Normal, 0), None);
+        assert!(b.is_open());
+    }
+
+    #[test]
+    fn probe_is_elected_once_and_closes_on_success() {
+        let b = Breaker::new(DefenseScheme::Full, policy(1));
+        b.on_failure(BatchRole::Normal, 0);
+        let probe_due = Duration::from_millis(5).as_nanos() as u64;
+        // Before the interval: no probe, degraded scheme.
+        assert_eq!(
+            b.scheme_for_batch(probe_due - 1),
+            (DefenseScheme::DetectorOnly, BatchRole::Normal)
+        );
+        // At the interval: exactly one caller wins the probe.
+        assert_eq!(
+            b.scheme_for_batch(probe_due),
+            (DefenseScheme::Full, BatchRole::Probe)
+        );
+        assert_eq!(
+            b.scheme_for_batch(probe_due),
+            (DefenseScheme::DetectorOnly, BatchRole::Normal)
+        );
+        // The probe succeeds: breaker closes, base scheme restored.
+        assert_eq!(b.on_success(BatchRole::Probe), Some(BreakerEvent::Closed));
+        assert!(!b.is_open());
+        assert_eq!(
+            b.scheme_for_batch(probe_due),
+            (DefenseScheme::Full, BatchRole::Normal)
+        );
+    }
+
+    #[test]
+    fn failed_probe_rearms_the_timer() {
+        let b = Breaker::new(DefenseScheme::Full, policy(1));
+        b.on_failure(BatchRole::Normal, 0);
+        let probe_due = Duration::from_millis(5).as_nanos() as u64;
+        assert_eq!(b.scheme_for_batch(probe_due).1, BatchRole::Probe);
+        assert_eq!(b.on_failure(BatchRole::Probe, probe_due), None);
+        assert!(b.is_open());
+        // Timer restarted from the failed probe: no new probe until another
+        // full interval passes.
+        assert_eq!(b.scheme_for_batch(probe_due + 1).1, BatchRole::Normal);
+        assert_eq!(b.scheme_for_batch(2 * probe_due).1, BatchRole::Probe);
+    }
+
+    #[test]
+    fn disabled_policy_is_inert() {
+        let b = Breaker::new(
+            DefenseScheme::Full,
+            DegradePolicy {
+                enabled: false,
+                ..DegradePolicy::default()
+            },
+        );
+        for _ in 0..64 {
+            assert_eq!(b.on_failure(BatchRole::Normal, 0), None);
+        }
+        assert!(!b.is_open());
+        assert_eq!(
+            b.scheme_for_batch(u64::MAX),
+            (DefenseScheme::Full, BatchRole::Normal)
+        );
+    }
+}

@@ -23,6 +23,18 @@
 //!   and `serve/pipeline` spans.
 //! * [`ServeEngine::shutdown`] (or drop) closes the queue, drains every
 //!   already-accepted request, and joins the workers.
+//! * The engine is fault tolerant: batches run under `catch_unwind` with a
+//!   supervisor respawning panicked workers ([`RestartPolicy`]), requests
+//!   may carry server-side deadlines
+//!   ([`ServeEngine::submit_with_deadline`]), transient pipeline failures
+//!   are retried with bounded backoff, and a circuit breaker
+//!   ([`DegradePolicy`]) degrades the defense scheme one
+//!   [`adv_magnet::DefenseScheme::fallback`] step at a time instead of
+//!   failing outright. [`ServeEngine::health`] summarises all of it as
+//!   Healthy / Degraded / Failed, and an `adv-chaos`
+//!   [`adv_chaos::FaultInjector`] can be plumbed in via
+//!   [`ServeConfig::injector`] to exercise every one of these paths
+//!   deterministically.
 //!
 //! Batching is exact, not approximate: a batch of `N` requests yields
 //! bit-identical verdicts to `N` serial
@@ -33,11 +45,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod breaker;
 mod engine;
+mod health;
 mod metrics;
 pub mod queue;
 
-pub use engine::{PendingVerdict, ServeConfig, ServeEngine, ServeResponse};
+pub use breaker::DegradePolicy;
+pub use engine::{PendingVerdict, ServeConfig, ServeEngine, ServeResponse, SITE_POLL};
+pub use health::{EngineHealth, RestartPolicy};
 pub use metrics::MetricsSnapshot;
 
 /// Errors surfaced by the serving engine.
@@ -51,7 +67,12 @@ pub enum ServeError {
     Pipeline(String),
     /// The engine died without answering (worker panic).
     Disconnected,
-    /// A wait with a deadline expired before the verdict arrived.
+    /// The request's batch was aborted by a worker panic; the worker is
+    /// respawned under the engine's restart policy, but this batch's
+    /// results are gone.
+    WorkerPanic(String),
+    /// A wait with a deadline expired before the verdict arrived (either
+    /// the caller's `wait_timeout` or the server-side request deadline).
     Timeout,
     /// Rejected engine configuration.
     InvalidConfig(String),
@@ -66,6 +87,9 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
             ServeError::Pipeline(msg) => write!(f, "defense pipeline failed: {msg}"),
             ServeError::Disconnected => write!(f, "engine terminated without responding"),
+            ServeError::WorkerPanic(msg) => {
+                write!(f, "worker panicked while executing the batch: {msg}")
+            }
             ServeError::Timeout => write!(f, "timed out waiting for a verdict"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             ServeError::WorkerSpawn(msg) => write!(f, "cannot spawn worker thread: {msg}"),

@@ -40,6 +40,25 @@ pub struct MetricsSnapshot {
     pub reform_time: Duration,
     /// Cumulative wall-clock time in the classifier across all batches.
     pub classify_time: Duration,
+    /// Requests shed because their server-side deadline expired in the
+    /// queue (answered with [`crate::ServeError::Timeout`], never silently
+    /// dropped).
+    pub shed_expired: u64,
+    /// Batch executions retried after a transient pipeline failure.
+    pub batch_retries: u64,
+    /// Worker panics caught by the supervision wrapper.
+    pub worker_panics: u64,
+    /// Workers respawned by the supervisor.
+    pub worker_restarts: u64,
+    /// Responses that could not be delivered because the caller dropped its
+    /// [`crate::PendingVerdict`] receiver.
+    pub responses_abandoned: u64,
+    /// Responses served under a reduced defense scheme (breaker open).
+    pub degraded_responses: u64,
+    /// Circuit-breaker open (or further-degrade) transitions.
+    pub breaker_opened: u64,
+    /// Circuit-breaker close transitions (successful probes).
+    pub breaker_closed: u64,
 }
 
 /// Shared counters updated by submitters and workers, living on a private
@@ -57,6 +76,14 @@ pub(crate) struct ServeMetrics {
     detect_ns: Arc<Counter>,
     reform_ns: Arc<Counter>,
     classify_ns: Arc<Counter>,
+    shed_expired: Arc<Counter>,
+    batch_retries: Arc<Counter>,
+    worker_panics: Arc<Counter>,
+    worker_restarts: Arc<Counter>,
+    responses_abandoned: Arc<Counter>,
+    degraded_responses: Arc<Counter>,
+    breaker_opened: Arc<Counter>,
+    breaker_closed: Arc<Counter>,
 }
 
 impl Default for ServeMetrics {
@@ -73,6 +100,14 @@ impl Default for ServeMetrics {
             detect_ns: registry.counter("serve.detect_ns"),
             reform_ns: registry.counter("serve.reform_ns"),
             classify_ns: registry.counter("serve.classify_ns"),
+            shed_expired: registry.counter("serve.shed_expired"),
+            batch_retries: registry.counter("serve.batch_retries"),
+            worker_panics: registry.counter("serve.worker_panics"),
+            worker_restarts: registry.counter("serve.worker_restarts"),
+            responses_abandoned: registry.counter("serve.responses_abandoned"),
+            degraded_responses: registry.counter("serve.degraded_responses"),
+            breaker_opened: registry.counter("serve.breaker_opened"),
+            breaker_closed: registry.counter("serve.breaker_closed"),
             registry,
         }
     }
@@ -113,6 +148,40 @@ impl ServeMetrics {
         self.failed.incr();
     }
 
+    /// Records a request answered with `Timeout` because its server-side
+    /// deadline expired before a worker picked it up.
+    pub fn record_shed_expired(&self) {
+        self.shed_expired.incr();
+    }
+
+    pub fn record_batch_retry(&self) {
+        self.batch_retries.incr();
+    }
+
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.incr();
+    }
+
+    pub fn record_worker_restart(&self) {
+        self.worker_restarts.incr();
+    }
+
+    pub fn record_response_abandoned(&self) {
+        self.responses_abandoned.incr();
+    }
+
+    pub fn record_degraded_response(&self) {
+        self.degraded_responses.incr();
+    }
+
+    pub fn record_breaker_opened(&self) {
+        self.breaker_opened.incr();
+    }
+
+    pub fn record_breaker_closed(&self) {
+        self.breaker_closed.incr();
+    }
+
     /// Raw `adv-obs` snapshot of the engine registry, for the Prometheus and
     /// JSON exporters.
     pub fn obs_snapshot(&self) -> Snapshot {
@@ -140,6 +209,14 @@ impl ServeMetrics {
             detect_time: Duration::from_nanos(self.detect_ns.get()),
             reform_time: Duration::from_nanos(self.reform_ns.get()),
             classify_time: Duration::from_nanos(self.classify_ns.get()),
+            shed_expired: self.shed_expired.get(),
+            batch_retries: self.batch_retries.get(),
+            worker_panics: self.worker_panics.get(),
+            worker_restarts: self.worker_restarts.get(),
+            responses_abandoned: self.responses_abandoned.get(),
+            degraded_responses: self.degraded_responses.get(),
+            breaker_opened: self.breaker_opened.get(),
+            breaker_closed: self.breaker_closed.get(),
         }
     }
 }
@@ -227,6 +304,32 @@ mod tests {
             s.p50_latency
         );
         assert_eq!(s.p99_latency, Duration::from_micros(9));
+    }
+
+    #[test]
+    fn fault_tolerance_counters_flow_into_the_snapshot() {
+        let m = ServeMetrics::default();
+        m.record_shed_expired();
+        m.record_batch_retry();
+        m.record_batch_retry();
+        m.record_worker_panic();
+        m.record_worker_restart();
+        m.record_response_abandoned();
+        m.record_degraded_response();
+        m.record_breaker_opened();
+        m.record_breaker_closed();
+        let s = m.snapshot();
+        assert_eq!(s.shed_expired, 1);
+        assert_eq!(s.batch_retries, 2);
+        assert_eq!(s.worker_panics, 1);
+        assert_eq!(s.worker_restarts, 1);
+        assert_eq!(s.responses_abandoned, 1);
+        assert_eq!(s.degraded_responses, 1);
+        assert_eq!(s.breaker_opened, 1);
+        assert_eq!(s.breaker_closed, 1);
+        let prom = m.obs_snapshot().to_prometheus();
+        assert!(prom.contains("serve_worker_panics 1"), "{prom}");
+        assert!(prom.contains("serve_breaker_opened 1"), "{prom}");
     }
 
     #[test]
