@@ -39,6 +39,7 @@ fn trained_cnn_with_batch(n: usize) -> (Sequential, Tensor, Vec<usize>) {
         seed: 2,
         label_smoothing: 0.0,
         verbose: false,
+        checkpoint: None,
     };
     fit_classifier(&mut net, &mut opt, train.images(), train.labels(), &cfg).unwrap();
 

@@ -34,6 +34,7 @@ pub fn trained_classifier() -> Sequential {
         seed: 5,
         label_smoothing: 0.0,
         verbose: false,
+        checkpoint: None,
     };
     fit_classifier(&mut net, &mut opt, train.images(), train.labels(), &cfg)
         .expect("training succeeds");

@@ -25,6 +25,10 @@
 //!   [`adv_magnet::MagnetDefense`] exposing per-stage injection points
 //!   (detector scoring, reformer, classifier). With a no-op injector its
 //!   verdicts are bit-identical to the unwrapped defense.
+//! * [`IoFaultPlan`] — the same discipline for the durable artifact store:
+//!   an [`adv_store::IoFaultHook`] injecting torn writes, bit flips, and
+//!   transient write errors into `adv-store`'s write paths, scoped to a
+//!   directory and fully determined by its seed.
 //!
 //! Injected panics carry the [`PANIC_MARKER`] prefix so supervision code
 //! and test assertions can tell a planned fault from a real bug.
@@ -34,10 +38,12 @@
 
 mod faulty;
 mod inject;
+mod io;
 mod plan;
 
 pub use faulty::{FaultyDefense, SITE_CLASSIFY, SITE_DETECT, SITE_REFORM};
 pub use inject::{FaultAction, FaultInjector, FaultStats};
+pub use io::{IoFaultPlan, IoFaultStats};
 pub use plan::{FaultPlan, SiteFaults};
 
 /// Prefix of every panic payload this crate injects.

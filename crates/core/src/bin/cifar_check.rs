@@ -20,6 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 4,
             label_smoothing: 0.0,
             verbose: false,
+            checkpoint: None,
         };
         let hist = fit_classifier(&mut net, &mut opt, train.images(), train.labels(), &cfg)?;
         let acc = adv_eval::zoo::classifier_accuracy(&mut net, &test)?;

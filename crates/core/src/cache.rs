@@ -30,15 +30,28 @@ pub fn slug(s: &str) -> String {
 }
 
 /// A cheap content fingerprint of the attacked image batch (FNV-1a over the
-/// raw bits). Embedded in cache file names so that entries computed against
-/// a *different* attack set (e.g. after a data-generator change) can never
-/// be mistaken for current ones.
+/// tensor's shape *and* raw bits). Embedded in cache file names so that
+/// entries computed against a *different* attack set (e.g. after a
+/// data-generator change) can never be mistaken for current ones.
+///
+/// The dimensions are mixed in first: two batches with the same values in a
+/// different arrangement (`[2, 8]` vs `[4, 4]`, or a transposed layout that
+/// happens to serialize identically) must not collide.
 pub fn content_fingerprint(images: &Tensor) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |byte: u8| {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    mix(images.shape().rank() as u8);
+    for &d in images.shape().dims() {
+        for b in (d as u64).to_le_bytes() {
+            mix(b);
+        }
+    }
     for &v in images.as_slice() {
         for b in v.to_le_bytes() {
-            hash ^= b as u64;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            mix(b);
         }
     }
     hash
@@ -119,28 +132,66 @@ pub fn decode_outcome(data: &[u8]) -> Result<(Tensor, Vec<bool>)> {
     Ok((Tensor::from_vec(values, shape)?, success))
 }
 
-/// Loads a cached outcome, recomputing distortions against `original`.
-/// Returns `None` when no cache entry exists or the entry does not match
-/// the original batch.
-pub fn load_outcome(path: &Path, original: &Tensor) -> Option<AttackOutcome> {
-    let data = std::fs::read(path).ok()?;
-    let (adversarial, success) = decode_outcome(&data).ok()?;
-    if adversarial.shape() != original.shape() || success.len() != original.shape().dim(0) {
-        return None;
-    }
-    AttackOutcome::from_images(original, adversarial, success).ok()
+/// Records a rejected cache entry: bumps `store.cache_rejects` and logs the
+/// reason, so a silent recraft is always explainable from the run log.
+fn reject_cache(path: &Path, reason: &str) {
+    adv_store::bump_counter(adv_store::metric_names::CACHE_REJECTS);
+    eprintln!(
+        "attack cache: rejecting {} ({reason}); recrafting",
+        path.display()
+    );
 }
 
-/// Stores an outcome at `path` (creating parent directories).
+/// Loads a cached outcome, recomputing distortions against `original`.
+/// Returns `None` — with the reject counted and logged, never silently —
+/// when the entry is missing, fails envelope validation (quarantined by the
+/// store), does not decode, or does not match the original batch.
+pub fn load_outcome(path: &Path, original: &Tensor) -> Option<AttackOutcome> {
+    let payload = match adv_store::load_artifact(path) {
+        Ok(p) => p,
+        Err(e) if e.is_not_found() => return None,
+        Err(e) => {
+            reject_cache(path, &e.to_string());
+            return None;
+        }
+    };
+    let (adversarial, success) = match decode_outcome(&payload) {
+        Ok(entry) => entry,
+        Err(e) => {
+            // CRC-valid but undecodable: quarantine like any corrupt file.
+            adv_store::quarantine(path);
+            reject_cache(path, &e.to_string());
+            return None;
+        }
+    };
+    if adversarial.shape() != original.shape() || success.len() != original.shape().dim(0) {
+        reject_cache(
+            path,
+            &format!(
+                "entry shape {} does not match attack set {}",
+                adversarial.shape(),
+                original.shape()
+            ),
+        );
+        return None;
+    }
+    match AttackOutcome::from_images(original, adversarial, success) {
+        Ok(outcome) => Some(outcome),
+        Err(e) => {
+            reject_cache(path, &e.to_string());
+            None
+        }
+    }
+}
+
+/// Stores an outcome at `path` (creating parent directories) through the
+/// artifact store: enveloped, CRC-checked, atomically renamed.
 ///
 /// # Errors
 ///
 /// Returns filesystem errors.
 pub fn store_outcome(path: &Path, outcome: &AttackOutcome) -> Result<()> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    std::fs::write(path, encode_outcome(outcome))?;
+    adv_store::save_artifact(path, &encode_outcome(outcome))?;
     Ok(())
 }
 
@@ -231,5 +282,58 @@ mod tests {
         b.as_mut_slice()[4] += 1e-3;
         assert_ne!(content_fingerprint(&a), content_fingerprint(&b));
         assert_eq!(content_fingerprint(&a), content_fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn fingerprint_differs_on_shape_rearrangement() {
+        // Same 16 values, different arrangement: these serialized identically
+        // before dims were mixed into the hash.
+        let values: Vec<f32> = (0..16).map(|i| i as f32 / 16.0).collect();
+        let a = Tensor::from_vec(values.clone(), Shape::new(vec![2, 8])).unwrap();
+        let b = Tensor::from_vec(values.clone(), Shape::new(vec![4, 4])).unwrap();
+        let c = Tensor::from_vec(values, Shape::new(vec![16])).unwrap();
+        assert_ne!(content_fingerprint(&a), content_fingerprint(&b));
+        assert_ne!(content_fingerprint(&a), content_fingerprint(&c));
+        assert_ne!(content_fingerprint(&b), content_fingerprint(&c));
+    }
+
+    #[test]
+    fn corrupt_cache_file_is_quarantined_and_rejected() {
+        let dir = std::env::temp_dir().join("adv_eval_cache_corrupt_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("x.atk");
+        let (orig, outcome) = sample_outcome();
+        store_outcome(&path, &outcome).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_outcome(&path, &orig).is_none());
+        assert!(!path.exists(), "corrupt entry should be moved aside");
+        assert!(dir.join("x.atk.corrupt").exists());
+        // A fresh store_outcome repopulates and loads cleanly again.
+        store_outcome(&path, &outcome).unwrap();
+        assert!(load_outcome(&path, &orig).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_strict_prefix_of_cache_file_is_rejected() {
+        let dir = std::env::temp_dir().join("adv_eval_cache_prefix_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("x.atk");
+        let (orig, outcome) = sample_outcome();
+        store_outcome(&path, &outcome).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let trunc = dir.join("trunc.atk");
+        for cut in 0..full.len() {
+            std::fs::write(&trunc, &full[..cut]).unwrap();
+            assert!(
+                load_outcome(&trunc, &orig).is_none(),
+                "prefix of {cut}/{} bytes must not load",
+                full.len()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -15,6 +15,8 @@ pub enum EvalError {
     Attack(adv_attacks::AttackError),
     /// Filesystem error (model cache, result output).
     Io(std::io::Error),
+    /// Durable artifact store error (envelope corruption, atomic write).
+    Store(adv_store::StoreError),
     /// Invalid experiment configuration.
     InvalidConfig(String),
 }
@@ -28,6 +30,7 @@ impl fmt::Display for EvalError {
             EvalError::Magnet(e) => write!(f, "defense error: {e}"),
             EvalError::Attack(e) => write!(f, "attack error: {e}"),
             EvalError::Io(e) => write!(f, "i/o error: {e}"),
+            EvalError::Store(e) => write!(f, "artifact store error: {e}"),
             EvalError::InvalidConfig(msg) => write!(f, "invalid experiment config: {msg}"),
         }
     }
@@ -42,6 +45,7 @@ impl std::error::Error for EvalError {
             EvalError::Magnet(e) => Some(e),
             EvalError::Attack(e) => Some(e),
             EvalError::Io(e) => Some(e),
+            EvalError::Store(e) => Some(e),
             EvalError::InvalidConfig(_) => None,
         }
     }
@@ -80,6 +84,12 @@ impl From<adv_attacks::AttackError> for EvalError {
 impl From<std::io::Error> for EvalError {
     fn from(e: std::io::Error) -> Self {
         EvalError::Io(e)
+    }
+}
+
+impl From<adv_store::StoreError> for EvalError {
+    fn from(e: adv_store::StoreError) -> Self {
+        EvalError::Store(e)
     }
 }
 

@@ -16,6 +16,7 @@ use adv_attacks::{
 };
 use adv_magnet::{DefenseScheme, MagnetDefense};
 use adv_nn::Sequential;
+use adv_tensor::{Shape, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// An attack family to sweep (κ is supplied per point).
@@ -197,8 +198,83 @@ impl SweepRunner {
         if let Some(outcome) = load_outcome(&path, &self.set.images) {
             return Ok(outcome);
         }
-        let outcome = attack.run(&mut self.classifier, &self.set.images, &self.set.labels)?;
+        let outcome = self.craft_journaled(&*attack, &path)?;
         store_outcome(&path, &outcome)?;
+        Ok(outcome)
+    }
+
+    /// Crafts the attack set one sample at a time, appending each finished
+    /// sample to an on-disk journal next to the cache entry. A run killed
+    /// mid-sweep replays the journal on the next call and recrafts only the
+    /// samples that never reached disk; the journal is deleted once the
+    /// assembled outcome lands in the durable `.atk` cache.
+    fn craft_journaled(
+        &mut self,
+        attack: &dyn Attack,
+        cache_path: &std::path::Path,
+    ) -> Result<AttackOutcome> {
+        let n = self.set.labels.len();
+        let item = self.set.images.shape().volume() / n.max(1);
+        let record_len = 4 + 1 + item * 4;
+        let jpath = cache_path.with_extension("atk.journal");
+        let context = crate::cache::content_fingerprint(&self.set.images);
+        let mut journal = adv_store::Journal::open(&jpath, context)?;
+
+        let mut adversarial = self.set.images.clone();
+        let mut success = vec![false; n];
+        let mut done = 0usize;
+        let mut stale = false;
+        for rec in journal.records() {
+            let idx_ok = rec.len() == record_len
+                && done < n
+                && u32::from_le_bytes(rec[..4].try_into().unwrap_or([0; 4])) as usize == done;
+            if !idx_ok {
+                stale = true;
+                break;
+            }
+            success[done] = rec[4] != 0;
+            let dst = &mut adversarial.as_mut_slice()[done * item..(done + 1) * item];
+            for (v, chunk) in dst.iter_mut().zip(rec[5..].chunks_exact(4)) {
+                *v = f32::from_le_bytes(chunk.try_into().unwrap_or([0; 4]));
+            }
+            done += 1;
+        }
+        if stale {
+            // Out-of-sequence or malformed payload: the journal predates a
+            // format/logic change. Drop it and craft from scratch.
+            done = 0;
+            adversarial = self.set.images.clone();
+            success = vec![false; n];
+            journal = adv_store::Journal::open_fresh(&jpath, context)?;
+        }
+        if done > 0 && done < n {
+            adv_store::bump_counter(adv_store::metric_names::RESUMES);
+            eprintln!("sweep: resuming {} at sample {done}/{n}", jpath.display());
+        }
+
+        let mut sample_dims: Vec<usize> = self.set.images.shape().dims().to_vec();
+        if let Some(first) = sample_dims.first_mut() {
+            *first = 1;
+        }
+        for (i, succ) in success.iter_mut().enumerate().skip(done) {
+            let xs = &self.set.images.as_slice()[i * item..(i + 1) * item];
+            let xi = Tensor::from_vec(xs.to_vec(), Shape::new(sample_dims.clone()))?;
+            let out = attack.run(&mut self.classifier, &xi, &[self.set.labels[i]])?;
+            *succ = out.success.first().copied().unwrap_or(false);
+            let dst = &mut adversarial.as_mut_slice()[i * item..(i + 1) * item];
+            dst.copy_from_slice(out.adversarial.as_slice());
+
+            let mut rec = Vec::with_capacity(record_len);
+            rec.extend_from_slice(&(i as u32).to_le_bytes());
+            rec.push(*succ as u8);
+            for &v in out.adversarial.as_slice() {
+                rec.extend_from_slice(&v.to_le_bytes());
+            }
+            journal.append(&rec)?;
+        }
+
+        let outcome = AttackOutcome::from_images(&self.set.images, adversarial, success)?;
+        journal.remove()?;
         Ok(outcome)
     }
 
@@ -360,6 +436,58 @@ mod tests {
         labels.sort();
         labels.dedup();
         assert_eq!(labels.len(), before, "duplicate attack labels");
+    }
+
+    #[test]
+    fn journaled_crafting_resumes_mid_sweep() {
+        let dir = std::env::temp_dir().join("adv_eval_sweep_resume");
+        std::fs::remove_dir_all(&dir).ok();
+        let zoo = Zoo::new(&dir, Scale::smoke());
+        let mut runner = SweepRunner::new(&zoo, Scenario::Mnist).unwrap();
+        let kind = AttackKind::Cw;
+        let full = runner.outcome(&kind, 0.0).unwrap();
+
+        // Simulate a kill after half the samples: drop the cache entry and
+        // plant a journal holding only the first k crafted samples.
+        let attack = kind.build(0.0, &runner.scale).unwrap();
+        let n = runner.set.labels.len();
+        let item = runner.set.images.shape().volume() / n;
+        let path = attack_cache_path(
+            &runner.cache_dir,
+            runner.scenario.name(),
+            &attack.name(),
+            n,
+            runner.scale.attack_iterations,
+            runner.scale.binary_search_steps,
+            runner.scale.initial_c,
+            runner.scale.attack_lr,
+            runner.scale.seed,
+            crate::cache::content_fingerprint(&runner.set.images),
+        );
+        std::fs::remove_file(&path).unwrap();
+        let jpath = path.with_extension("atk.journal");
+        let fp = crate::cache::content_fingerprint(&runner.set.images);
+        let k = n / 2;
+        let mut journal = adv_store::Journal::open(&jpath, fp).unwrap();
+        for i in 0..k {
+            let mut rec = Vec::new();
+            rec.extend_from_slice(&(i as u32).to_le_bytes());
+            rec.push(full.success[i] as u8);
+            for &v in &full.adversarial.as_slice()[i * item..(i + 1) * item] {
+                rec.extend_from_slice(&v.to_le_bytes());
+            }
+            journal.append(&rec).unwrap();
+        }
+        drop(journal);
+
+        // The rerun must replay the journal, recraft only the tail, and end
+        // bit-identical to the uninterrupted run.
+        let resumed = runner.outcome(&kind, 0.0).unwrap();
+        assert_eq!(resumed.adversarial, full.adversarial);
+        assert_eq!(resumed.success, full.success);
+        assert!(!jpath.exists(), "journal must be deleted after commit");
+        assert!(path.exists(), "cache entry must be rebuilt");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

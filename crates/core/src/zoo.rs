@@ -12,16 +12,37 @@ use crate::Result;
 use adv_data::synth::{cifar_like, mnist_like};
 use adv_data::Dataset;
 use adv_magnet::variants::{
-    assemble_cifar_defense, assemble_mnist_defense, train_cifar_autoencoder,
-    train_mnist_autoencoders, MnistAutoencoders, TrainSpec,
+    assemble_cifar_defense, assemble_mnist_defense, train_cifar_autoencoder_checkpointed,
+    train_mnist_autoencoders_checkpointed, MnistAutoencoders, TrainSpec,
 };
 use adv_magnet::{arch, Autoencoder, MagnetDefense};
+use adv_nn::checkpoint::clear_checkpoint;
 use adv_nn::loss::ReconstructionLoss;
 use adv_nn::optim::Adam;
 use adv_nn::serialize::{load_model, save_model};
 use adv_nn::train::{fit_classifier, gather0, TrainConfig};
-use adv_nn::Sequential;
+use adv_nn::{CheckpointCfg, Sequential};
 use std::path::{Path, PathBuf};
+
+/// Loads a cached model, treating *any* failure as a cache miss: a missing
+/// file silently, a corrupt/stale one with a log line (the store has already
+/// quarantined it to `<name>.corrupt`). The caller then retrains — the zoo
+/// never hard-fails on bad cache bytes.
+fn try_load_model(path: &Path) -> Option<Sequential> {
+    match load_model(path) {
+        Ok(net) => Some(net),
+        Err(e) => {
+            let missing = matches!(&e, adv_nn::NnError::Store(s) if s.is_not_found());
+            if !missing {
+                eprintln!(
+                    "zoo: cached model {} rejected ({e}); retraining",
+                    path.display()
+                );
+            }
+            None
+        }
+    }
+}
 
 /// Which of the paper's two evaluation scenarios to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -201,18 +222,20 @@ impl Zoo {
     /// Propagates training and serialization errors.
     pub fn classifier(&self, scenario: Scenario) -> Result<Sequential> {
         let path = self.classifier_path(scenario);
-        if path.exists() {
-            return Ok(load_model(&path)?);
+        if let Some(net) = try_load_model(&path) {
+            return Ok(net);
         }
         let data = self.data(scenario);
         let mut net = Sequential::from_specs(&self.classifier_specs(scenario), self.scale.seed)?;
         let mut opt = Adam::with_defaults(1e-3);
+        let ckpt_path = path.with_extension("ckpt");
         let cfg = TrainConfig {
             epochs: self.scale.classifier_epochs,
             batch_size: 32,
             seed: self.scale.seed ^ 0xC1A5,
             label_smoothing: self.scale.label_smoothing,
             verbose: false,
+            checkpoint: Some(CheckpointCfg::every_epoch(ckpt_path.clone())),
         };
         fit_classifier(
             &mut net,
@@ -222,6 +245,8 @@ impl Zoo {
             &cfg,
         )?;
         save_model(&net, &path)?;
+        // The final model is durably saved; the checkpoint is dead weight.
+        clear_checkpoint(&ckpt_path)?;
         Ok(net)
     }
 
@@ -270,6 +295,18 @@ impl Zoo {
         ))
     }
 
+    /// Directory for the resumable training checkpoints of one AE artifact
+    /// family — keyed like the cache file so concurrent variants never share
+    /// a checkpoint.
+    fn ckpt_dir(&self, scenario: Scenario, filters: usize, loss: ReconstructionLoss) -> PathBuf {
+        let loss_tag = match loss {
+            ReconstructionLoss::MeanSquaredError => "mse",
+            ReconstructionLoss::MeanAbsoluteError => "mae",
+        };
+        self.dir
+            .join(format!("ckpt_{}_f{filters}_{loss_tag}", scenario.name()))
+    }
+
     /// Loads or trains the two MNIST auto-encoders at the given width and
     /// reconstruction loss.
     ///
@@ -283,20 +320,23 @@ impl Zoo {
     ) -> Result<MnistAutoencoders> {
         let p1 = self.ae_path(Scenario::Mnist, "ae1", filters, loss);
         let p2 = self.ae_path(Scenario::Mnist, "ae2", filters, loss);
-        if p1.exists() && p2.exists() {
+        if let (Some(n1), Some(n2)) = (try_load_model(&p1), try_load_model(&p2)) {
             return Ok(MnistAutoencoders {
-                ae_one: Autoencoder::from_network(load_model(&p1)?, loss, 0.1),
-                ae_two: Autoencoder::from_network(load_model(&p2)?, loss, 0.1),
+                ae_one: Autoencoder::from_network(n1, loss, 0.1),
+                ae_two: Autoencoder::from_network(n2, loss, 0.1),
             });
         }
         let data = self.data(Scenario::Mnist);
-        let aes = train_mnist_autoencoders(
+        let ckpt_dir = self.ckpt_dir(Scenario::Mnist, filters, loss);
+        let aes = train_mnist_autoencoders_checkpointed(
             1,
             &self.train_spec(Scenario::Mnist, filters, loss),
             data.train.images(),
+            Some(&ckpt_dir),
         )?;
         save_model(aes.ae_one.network(), &p1)?;
         save_model(aes.ae_two.network(), &p2)?;
+        std::fs::remove_dir_all(&ckpt_dir).ok();
         Ok(aes)
     }
 
@@ -311,16 +351,19 @@ impl Zoo {
         loss: ReconstructionLoss,
     ) -> Result<Autoencoder> {
         let p = self.ae_path(Scenario::Cifar, "ae", filters, loss);
-        if p.exists() {
-            return Ok(Autoencoder::from_network(load_model(&p)?, loss, 0.1));
+        if let Some(net) = try_load_model(&p) {
+            return Ok(Autoencoder::from_network(net, loss, 0.1));
         }
         let data = self.data(Scenario::Cifar);
-        let ae = train_cifar_autoencoder(
+        let ckpt_dir = self.ckpt_dir(Scenario::Cifar, filters, loss);
+        let ae = train_cifar_autoencoder_checkpointed(
             3,
             &self.train_spec(Scenario::Cifar, filters, loss),
             data.train.images(),
+            Some(&ckpt_dir),
         )?;
         save_model(ae.network(), &p)?;
+        std::fs::remove_dir_all(&ckpt_dir).ok();
         Ok(ae)
     }
 
@@ -521,6 +564,51 @@ mod tests {
         for (pa, pb) in a.params().iter().zip(b.params()) {
             assert_eq!(pa.value, pb.value);
         }
+        std::fs::remove_dir_all(zoo.dir()).ok();
+    }
+
+    #[test]
+    fn corrupt_cached_classifier_is_quarantined_and_retrained() {
+        let zoo = smoke_zoo("clf_corrupt");
+        let a = zoo.classifier(Scenario::Mnist).unwrap();
+        let path = zoo.classifier_path(Scenario::Mnist);
+        assert!(path.exists());
+        // Flip one byte in the cached artifact.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        // The zoo must detect the corruption, quarantine the file, and
+        // retrain to the exact same weights (training is deterministic).
+        let b = zoo.classifier(Scenario::Mnist).unwrap();
+        for (pa, pb) in a.params().iter().zip(b.params()) {
+            assert_eq!(pa.value, pb.value);
+        }
+        let quarantined: Vec<_> = std::fs::read_dir(zoo.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".corrupt"))
+            .collect();
+        assert_eq!(quarantined.len(), 1, "expected one quarantined file");
+        assert!(path.exists(), "cache should be repopulated");
+        std::fs::remove_dir_all(zoo.dir()).ok();
+    }
+
+    #[test]
+    fn finished_training_leaves_no_checkpoints() {
+        let zoo = smoke_zoo("no_ckpt_litter");
+        zoo.classifier(Scenario::Mnist).unwrap();
+        zoo.mnist_autoencoders(2, ReconstructionLoss::MeanSquaredError)
+            .unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(zoo.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let n = e.file_name().to_string_lossy().into_owned();
+                n.ends_with(".ckpt") || n.starts_with("ckpt_")
+            })
+            .collect();
+        assert!(leftovers.is_empty(), "checkpoint litter: {leftovers:?}");
         std::fs::remove_dir_all(zoo.dir()).ok();
     }
 

@@ -107,6 +107,7 @@ impl LintConfig {
                 "adv-chaos",
                 "adv-magnet",
                 "adv-lint",
+                "adv-store",
             ]),
             index_check_crates: s(&["adv-serve", "adv-obs", "adv-chaos"]),
             clock_crates: s(&[
@@ -119,6 +120,7 @@ impl LintConfig {
                 "adv-data",
                 "adv-attacks",
                 "adv-lint",
+                "adv-store",
             ]),
         }
     }

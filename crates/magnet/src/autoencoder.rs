@@ -98,6 +98,25 @@ impl Autoencoder {
         lr: f32,
         seed: u64,
     ) -> Result<f32> {
+        self.train_checkpointed(images, epochs, batch_size, lr, seed, None)
+    }
+
+    /// [`Autoencoder::train`] with optional crash-safe checkpointing: when
+    /// `checkpoint` is set, training saves epoch-granular state there and a
+    /// rerun after a kill resumes bit-identically instead of restarting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors (shape mismatches, degenerate configs).
+    pub fn train_checkpointed(
+        &mut self,
+        images: &Tensor,
+        epochs: usize,
+        batch_size: usize,
+        lr: f32,
+        seed: u64,
+        checkpoint: Option<adv_nn::CheckpointCfg>,
+    ) -> Result<f32> {
         let mut opt = Adam::with_defaults(lr);
         let cfg = TrainConfig {
             epochs,
@@ -105,6 +124,7 @@ impl Autoencoder {
             seed,
             label_smoothing: 0.0,
             verbose: false,
+            checkpoint,
         };
         let history = fit_autoencoder_with(
             &mut self.net,

@@ -91,6 +91,25 @@ pub fn train_mnist_autoencoders(
     spec: &TrainSpec,
     train_images: &Tensor,
 ) -> Result<MnistAutoencoders> {
+    train_mnist_autoencoders_checkpointed(channels, spec, train_images, None)
+}
+
+/// [`train_mnist_autoencoders`] with crash-safe checkpointing: when
+/// `checkpoint_dir` is set, each auto-encoder saves epoch-granular training
+/// state under it (`mnist_ae1.ckpt` / `mnist_ae2.ckpt`) and a rerun after a
+/// kill resumes bit-identically instead of retraining from scratch.
+///
+/// # Errors
+///
+/// Propagates construction and training errors.
+pub fn train_mnist_autoencoders_checkpointed(
+    channels: usize,
+    spec: &TrainSpec,
+    train_images: &Tensor,
+    checkpoint_dir: Option<&std::path::Path>,
+) -> Result<MnistAutoencoders> {
+    let ckpt =
+        |name: &str| checkpoint_dir.map(|d| adv_nn::CheckpointCfg::every_epoch(d.join(name)));
     let mut ae_one = Autoencoder::new(
         &mnist_ae_one(channels, spec.filters),
         spec.loss,
@@ -98,12 +117,13 @@ pub fn train_mnist_autoencoders(
         spec.seed,
     )?;
     apply_corruption(&mut ae_one, spec);
-    ae_one.train(
+    ae_one.train_checkpointed(
         train_images,
         spec.epochs,
         spec.batch_size,
         spec.lr,
         spec.seed ^ 0xA11C_E5ED,
+        ckpt("mnist_ae1.ckpt"),
     )?;
     let mut ae_two = Autoencoder::new(
         &mnist_ae_two(channels, spec.filters),
@@ -112,12 +132,13 @@ pub fn train_mnist_autoencoders(
         spec.seed.wrapping_add(1),
     )?;
     apply_corruption(&mut ae_two, spec);
-    ae_two.train(
+    ae_two.train_checkpointed(
         train_images,
         spec.epochs,
         spec.batch_size,
         spec.lr,
         spec.seed ^ 0xB0B5_1ED5,
+        ckpt("mnist_ae2.ckpt"),
     )?;
     Ok(MnistAutoencoders { ae_one, ae_two })
 }
@@ -132,6 +153,22 @@ pub fn train_cifar_autoencoder(
     spec: &TrainSpec,
     train_images: &Tensor,
 ) -> Result<Autoencoder> {
+    train_cifar_autoencoder_checkpointed(channels, spec, train_images, None)
+}
+
+/// [`train_cifar_autoencoder`] with crash-safe checkpointing under
+/// `checkpoint_dir` (`cifar_ae.ckpt`); see
+/// [`train_mnist_autoencoders_checkpointed`].
+///
+/// # Errors
+///
+/// Propagates construction and training errors.
+pub fn train_cifar_autoencoder_checkpointed(
+    channels: usize,
+    spec: &TrainSpec,
+    train_images: &Tensor,
+    checkpoint_dir: Option<&std::path::Path>,
+) -> Result<Autoencoder> {
     let mut ae = Autoencoder::new(
         &cifar_ae(channels, spec.filters),
         spec.loss,
@@ -139,12 +176,13 @@ pub fn train_cifar_autoencoder(
         spec.seed,
     )?;
     apply_corruption(&mut ae, spec);
-    ae.train(
+    ae.train_checkpointed(
         train_images,
         spec.epochs,
         spec.batch_size,
         spec.lr,
         spec.seed ^ 0xC1FA_0AE5,
+        checkpoint_dir.map(|d| adv_nn::CheckpointCfg::every_epoch(d.join("cifar_ae.ckpt"))),
     )?;
     Ok(ae)
 }

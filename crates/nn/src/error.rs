@@ -22,6 +22,9 @@ pub enum NnError {
     Serialization(String),
     /// An I/O error while reading or writing a model file.
     Io(std::io::Error),
+    /// The artifact store rejected a model or checkpoint file (corruption,
+    /// injected fault) or failed to persist one.
+    Store(adv_store::StoreError),
     /// An invalid hyperparameter or architecture argument.
     InvalidArgument(String),
 }
@@ -38,6 +41,7 @@ impl fmt::Display for NnError {
             }
             NnError::Serialization(msg) => write!(f, "serialization error: {msg}"),
             NnError::Io(e) => write!(f, "i/o error: {e}"),
+            NnError::Store(e) => write!(f, "artifact store error: {e}"),
             NnError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
@@ -48,6 +52,7 @@ impl std::error::Error for NnError {
         match self {
             NnError::Tensor(e) => Some(e),
             NnError::Io(e) => Some(e),
+            NnError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -62,6 +67,12 @@ impl From<TensorError> for NnError {
 impl From<std::io::Error> for NnError {
     fn from(e: std::io::Error) -> Self {
         NnError::Io(e)
+    }
+}
+
+impl From<adv_store::StoreError> for NnError {
+    fn from(e: adv_store::StoreError) -> Self {
+        NnError::Store(e)
     }
 }
 

@@ -50,6 +50,7 @@ mod error;
 mod layer;
 mod network;
 
+pub mod checkpoint;
 pub mod layers;
 pub mod loss;
 pub mod optim;
@@ -58,6 +59,7 @@ pub mod softmax;
 pub mod summary;
 pub mod train;
 
+pub use checkpoint::CheckpointCfg;
 pub use error::NnError;
 pub use layer::{Layer, Mode, Param};
 pub use layers::Activation;

@@ -9,6 +9,7 @@
 use crate::layer::Param;
 use crate::{NnError, Result};
 use adv_tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// A gradient-based parameter update rule.
 pub trait Optimizer {
@@ -25,7 +26,92 @@ pub trait Optimizer {
 
     /// Overrides the learning rate (for schedules).
     fn set_learning_rate(&mut self, lr: f32);
+
+    /// Serializes the optimizer's accumulated state (momentum buffers,
+    /// moment estimates, step counts — everything `step` evolves) so a
+    /// training run can be checkpointed and resumed bit-identically. The
+    /// *configuration* (learning rate, betas) is not included: it is the
+    /// caller's to reconstruct.
+    ///
+    /// Stateless optimizers may return an empty vector (the default).
+    fn state_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Optimizer::state_bytes`] on an
+    /// identically-configured optimizer paired with the same architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] when the bytes do not describe
+    /// this optimizer's state.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<()> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(NnError::Serialization(
+                "optimizer does not carry serializable state".into(),
+            ))
+        }
+    }
 }
+
+/// Encodes a list of state tensors as `count u32 | tensors…`.
+fn tensors_to_bytes(tag: u8, tensors: &[Tensor]) -> BytesMut {
+    let mut buf = BytesMut::new();
+    buf.put_u8(tag);
+    buf.put_u32_le(tensors.len() as u32);
+    for t in tensors {
+        crate::serialize::put_tensor(&mut buf, t);
+    }
+    buf
+}
+
+/// Decodes a tensor list written by [`tensors_to_bytes`].
+fn tensors_from_bytes(buf: &mut Bytes) -> Result<Vec<Tensor>> {
+    if buf.remaining() < 4 {
+        return Err(NnError::Serialization(
+            "truncated state tensor count".into(),
+        ));
+    }
+    let n = buf.get_u32_le() as usize;
+    if n > 100_000 {
+        return Err(NnError::Serialization(format!(
+            "implausible state tensor count {n}"
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(crate::serialize::get_tensor(buf)?);
+    }
+    Ok(out)
+}
+
+fn expect_tag(buf: &mut Bytes, want: u8, kind: &str) -> Result<()> {
+    if buf.remaining() < 1 {
+        return Err(NnError::Serialization(format!("empty {kind} state")));
+    }
+    let got = buf.get_u8();
+    if got != want {
+        return Err(NnError::Serialization(format!(
+            "state tag {got} is not {kind} state"
+        )));
+    }
+    Ok(())
+}
+
+fn expect_consumed(buf: &Bytes, kind: &str) -> Result<()> {
+    if buf.remaining() != 0 {
+        return Err(NnError::Serialization(format!(
+            "{} trailing bytes after {kind} state",
+            buf.remaining()
+        )));
+    }
+    Ok(())
+}
+
+const SGD_STATE_TAG: u8 = 1;
+const ADAM_STATE_TAG: u8 = 2;
 
 /// Stochastic gradient descent with classical momentum.
 #[derive(Debug, Clone)]
@@ -77,6 +163,19 @@ impl Optimizer for Sgd {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        tensors_to_bytes(SGD_STATE_TAG, &self.velocity).to_vec()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut buf = Bytes::copy_from_slice(bytes);
+        expect_tag(&mut buf, SGD_STATE_TAG, "SGD")?;
+        let velocity = tensors_from_bytes(&mut buf)?;
+        expect_consumed(&buf, "SGD")?;
+        self.velocity = velocity;
+        Ok(())
     }
 }
 
@@ -162,6 +261,41 @@ impl Optimizer for Adam {
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
     }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut buf = tensors_to_bytes(ADAM_STATE_TAG, &self.m);
+        buf.put_u64_le(self.t);
+        let mut vbuf = BytesMut::new();
+        vbuf.put_u32_le(self.v.len() as u32);
+        for t in &self.v {
+            crate::serialize::put_tensor(&mut vbuf, t);
+        }
+        buf.put_slice(&vbuf.to_vec());
+        buf.to_vec()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut buf = Bytes::copy_from_slice(bytes);
+        expect_tag(&mut buf, ADAM_STATE_TAG, "Adam")?;
+        let m = tensors_from_bytes(&mut buf)?;
+        if buf.remaining() < 8 {
+            return Err(NnError::Serialization("truncated Adam step count".into()));
+        }
+        let t = buf.get_u64_le();
+        let v = tensors_from_bytes(&mut buf)?;
+        expect_consumed(&buf, "Adam")?;
+        if m.len() != v.len() {
+            return Err(NnError::Serialization(format!(
+                "Adam moment lists disagree: {} vs {}",
+                m.len(),
+                v.len()
+            )));
+        }
+        self.m = m;
+        self.v = v;
+        self.t = t;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -234,5 +368,85 @@ mod tests {
         assert_eq!(opt.learning_rate(), 0.1);
         opt.set_learning_rate(0.01);
         assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    /// Runs `steps` quadratic-descent steps on a fresh param, snapshotting
+    /// optimizer state after `snapshot_at`, then finishes two ways: straight
+    /// through, and via a fresh optimizer restored from the snapshot. Both
+    /// must land on bit-identical parameters.
+    fn resume_matches<O: Optimizer + Clone>(
+        mut opt: O,
+        fresh: O,
+        steps: usize,
+        snapshot_at: usize,
+    ) {
+        let mut p = Param::new(Tensor::full(Shape::vector(3), 7.0));
+        for _ in 0..snapshot_at {
+            p.grad = quadratic_grad(&p);
+            opt.step(&mut [&mut p]).unwrap();
+        }
+        let state = opt.state_bytes();
+        let p_mid = p.value.clone();
+
+        // Straight through.
+        let mut p_a = Param::new(p_mid.clone());
+        let mut opt_a = opt;
+        for _ in snapshot_at..steps {
+            p_a.grad = quadratic_grad(&p_a);
+            opt_a.step(&mut [&mut p_a]).unwrap();
+        }
+
+        // Restored.
+        let mut p_b = Param::new(p_mid);
+        let mut opt_b = fresh;
+        opt_b.restore_state(&state).unwrap();
+        for _ in snapshot_at..steps {
+            p_b.grad = quadratic_grad(&p_b);
+            opt_b.step(&mut [&mut p_b]).unwrap();
+        }
+        assert_eq!(p_a.value, p_b.value, "resume diverged");
+    }
+
+    #[test]
+    fn sgd_state_roundtrip_resumes_bit_identically() {
+        resume_matches(Sgd::new(0.05, 0.9), Sgd::new(0.05, 0.9), 20, 7);
+    }
+
+    #[test]
+    fn adam_state_roundtrip_resumes_bit_identically() {
+        resume_matches(Adam::with_defaults(0.1), Adam::with_defaults(0.1), 20, 7);
+    }
+
+    #[test]
+    fn state_bytes_reject_cross_optimizer_restore() {
+        let mut p = Param::new(Tensor::ones(Shape::vector(2)));
+        let mut sgd = Sgd::new(0.1, 0.9);
+        p.grad = quadratic_grad(&p);
+        sgd.step(&mut [&mut p]).unwrap();
+        let mut adam = Adam::with_defaults(0.1);
+        assert!(adam.restore_state(&sgd.state_bytes()).is_err());
+        let mut sgd2 = Sgd::new(0.1, 0.9);
+        assert!(sgd2.restore_state(&adam.state_bytes()).is_err());
+    }
+
+    #[test]
+    fn truncated_state_is_rejected() {
+        let mut p = Param::new(Tensor::ones(Shape::vector(4)));
+        let mut opt = Adam::with_defaults(0.1);
+        p.grad = quadratic_grad(&p);
+        opt.step(&mut [&mut p]).unwrap();
+        let state = opt.state_bytes();
+        for cut in 0..state.len() {
+            let mut fresh = Adam::with_defaults(0.1);
+            assert!(
+                fresh.restore_state(&state[..cut]).is_err(),
+                "prefix of {cut} bytes unexpectedly restored"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = state.clone();
+        padded.push(0);
+        let mut fresh = Adam::with_defaults(0.1);
+        assert!(fresh.restore_state(&padded).is_err());
     }
 }

@@ -19,7 +19,6 @@ use crate::{LayerSpec, NnError, Result, Sequential};
 use adv_tensor::ops::Conv2dSpec;
 use adv_tensor::{Shape, Tensor};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::fs;
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"ADVNN001";
@@ -149,7 +148,7 @@ fn get_spec(buf: &mut Bytes) -> Result<LayerSpec> {
     })
 }
 
-fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
+pub(crate) fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
     buf.put_u32_le(t.shape().rank() as u32);
     for &d in t.shape().dims() {
         put_usize(buf, d);
@@ -159,7 +158,7 @@ fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
     }
 }
 
-fn get_tensor(buf: &mut Bytes) -> Result<Tensor> {
+pub(crate) fn get_tensor(buf: &mut Bytes) -> Result<Tensor> {
     if buf.remaining() < 4 {
         return Err(NnError::Serialization("truncated tensor header".into()));
     }
@@ -252,30 +251,54 @@ pub fn model_from_bytes(data: &[u8]) -> Result<Sequential> {
             p.value = t;
         }
     }
+    // A valid model file ends exactly at the last parameter value. Trailing
+    // bytes mean the file was not produced by `model_to_bytes` (appended
+    // garbage, a concatenation accident, or corruption the checksum layer
+    // did not cover) — reject rather than silently ignore them.
+    if buf.remaining() != 0 {
+        return Err(NnError::Serialization(format!(
+            "{} trailing bytes after final parameter tensor",
+            buf.remaining()
+        )));
+    }
     Ok(net)
 }
 
-/// Writes a network to `path`.
+/// Writes a network to `path` through the artifact store: the `ADVNN001`
+/// image is sealed in a CRC-checked envelope and committed with the atomic
+/// temp-write/fsync/rename sequence, so a crash mid-save leaves the previous
+/// model (or nothing), never a torn file.
 ///
 /// # Errors
 ///
-/// Returns I/O errors from the filesystem.
+/// Returns I/O errors from the filesystem (as [`NnError::Store`]).
 pub fn save_model(net: &Sequential, path: impl AsRef<Path>) -> Result<()> {
-    if let Some(dir) = path.as_ref().parent() {
-        fs::create_dir_all(dir)?;
-    }
-    fs::write(path, model_to_bytes(net))?;
+    adv_store::save_artifact(path, &model_to_bytes(net))?;
     Ok(())
 }
 
-/// Reads a network from `path`.
+/// Reads a network from `path`, validating the store envelope before
+/// decoding. A file that fails validation — or that validates but does not
+/// decode as a model — is quarantined to `<name>.corrupt` so the caller's
+/// next run regenerates it instead of re-reading the same bad bytes.
 ///
 /// # Errors
 ///
-/// Returns I/O errors and [`NnError::Serialization`] for malformed files.
+/// Returns [`NnError::Store`] for missing or corrupt files (check
+/// [`adv_store::StoreError::is_not_found`]) and [`NnError::Serialization`]
+/// for CRC-valid payloads that are not a model.
 pub fn load_model(path: impl AsRef<Path>) -> Result<Sequential> {
-    let data = fs::read(path)?;
-    model_from_bytes(&data)
+    let path = path.as_ref();
+    let payload = adv_store::load_artifact(path)?;
+    match model_from_bytes(&payload) {
+        Ok(net) => Ok(net),
+        Err(e) => {
+            // CRC-valid but undecodable (format drift, foreign file): just
+            // as unusable as a corrupt one.
+            adv_store::quarantine(path);
+            Err(e)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -346,11 +369,81 @@ mod tests {
     #[test]
     fn file_roundtrip() {
         let dir = std::env::temp_dir().join("adv_nn_serialize_test");
+        std::fs::remove_dir_all(&dir).ok();
         let path = dir.join("model.advnn");
         let net = sample_net();
         save_model(&net, &path).unwrap();
         let restored = load_model(&path).unwrap();
         assert_eq!(restored.specs(), net.specs());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let net = sample_net();
+        let bytes = model_to_bytes(&net);
+        assert!(model_from_bytes(&bytes).is_ok());
+        // Any appended tail — even a single byte — must fail decode.
+        for extra in [1usize, 4, 64] {
+            let mut padded = bytes.clone();
+            padded.extend(std::iter::repeat_n(0xAB, extra));
+            let err = model_from_bytes(&padded).unwrap_err();
+            assert!(
+                matches!(err, NnError::Serialization(ref m) if m.contains("trailing")),
+                "{extra} extra bytes: {err}"
+            );
+        }
+        // A duplicated file (concatenation accident) also fails.
+        let doubled: Vec<u8> = bytes.iter().chain(bytes.iter()).copied().collect();
+        assert!(model_from_bytes(&doubled).is_err());
+    }
+
+    #[test]
+    fn every_strict_prefix_is_rejected() {
+        // Truncation fuzz: a kill mid-write can leave any prefix of the
+        // image; every single one must error — never panic, never "parse".
+        let bytes = model_to_bytes(&sample_net());
+        for cut in 0..bytes.len() {
+            assert!(
+                model_from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut}/{} bytes unexpectedly parsed",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_unenveloped_file_is_quarantined() {
+        // Files written by the pre-store `fs::write` path carry no envelope;
+        // the strict loader must reject and quarantine them so callers
+        // retrain instead of looping on the same bytes.
+        let dir = std::env::temp_dir().join("adv_nn_serialize_legacy");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.advnn");
+        std::fs::write(&path, model_to_bytes(&sample_net())).unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert!(matches!(
+            err,
+            NnError::Store(adv_store::StoreError::Corrupt { .. })
+        ));
+        assert!(!path.exists(), "legacy file should be moved aside");
+        assert!(dir.join("legacy.advnn.corrupt").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn valid_envelope_bad_payload_is_quarantined() {
+        let dir = std::env::temp_dir().join("adv_nn_serialize_badpayload");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.advnn");
+        // CRC-valid envelope around bytes that are not a model.
+        adv_store::save_artifact(&path, b"not a model at all").unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert!(matches!(err, NnError::Serialization(_)), "{err}");
+        assert!(!path.exists());
+        assert!(dir.join("model.advnn.corrupt").exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -5,6 +5,7 @@
 //! caller. Everything is seeded, so a `(architecture, data, seed)` triple
 //! always produces the same model.
 
+use crate::checkpoint::{self, CheckpointCfg, TrainCheckpoint};
 use crate::loss::{accuracy, softmax_cross_entropy_smoothed, ReconstructionLoss};
 use crate::optim::Optimizer;
 use crate::{Mode, NnError, Result, Sequential};
@@ -74,6 +75,12 @@ pub struct TrainConfig {
     pub label_smoothing: f32,
     /// When `true`, prints one line per epoch to stderr.
     pub verbose: bool,
+    /// When set, the loop saves a resumable checkpoint (model + optimizer
+    /// state + history) every [`CheckpointCfg::every`] epochs and, on the
+    /// next call with a matching configuration, resumes from it instead of
+    /// retraining — bit-identically, because each epoch's RNG is derived
+    /// from `(seed, epoch)` rather than threaded across epochs.
+    pub checkpoint: Option<CheckpointCfg>,
 }
 
 impl Default for TrainConfig {
@@ -84,8 +91,85 @@ impl Default for TrainConfig {
             seed: 0,
             label_smoothing: 0.0,
             verbose: false,
+            checkpoint: None,
         }
     }
+}
+
+/// The RNG for one epoch, derived from `(seed, epoch)` with a splitmix64
+/// finalizer. Keying by epoch (instead of advancing one RNG across epochs)
+/// is what makes a checkpoint's "resume at epoch k" equal to the RNG
+/// position of an uninterrupted run.
+fn epoch_rng(seed: u64, epoch: usize) -> StdRng {
+    let mut z = seed
+        ^ (epoch as u64)
+            .wrapping_add(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Tries to resume a checkpointed run: restores the model, optimizer state
+/// and history, and returns the epoch to continue from. Any mismatch
+/// (architecture, digest, corrupt file) falls back to a fresh start —
+/// checkpoints accelerate, they never gate.
+fn try_resume(
+    net: &mut Sequential,
+    opt: &mut dyn Optimizer,
+    cfg: &TrainConfig,
+    digest: u64,
+) -> Result<(usize, Vec<EpochStats>)> {
+    let Some(ck) = &cfg.checkpoint else {
+        return Ok((0, Vec::new()));
+    };
+    let Some(saved) = checkpoint::load_matching(&ck.path, digest)? else {
+        return Ok((0, Vec::new()));
+    };
+    let Ok(restored) = crate::serialize::model_from_bytes(&saved.model) else {
+        return Ok((0, Vec::new()));
+    };
+    if restored.specs() != net.specs() || opt.restore_state(&saved.optimizer).is_err() {
+        return Ok((0, Vec::new()));
+    }
+    *net = restored;
+    let start = saved.epochs_done.min(cfg.epochs);
+    let mut history = saved.history;
+    history.truncate(start);
+    if start > 0 {
+        adv_store::bump_counter(adv_store::metric_names::RESUMES);
+        if cfg.verbose {
+            eprintln!("resumed from checkpoint at epoch {start}");
+        }
+    }
+    Ok((start, history))
+}
+
+/// Saves a checkpoint when the cadence (or the final epoch) says so.
+fn maybe_checkpoint(
+    net: &Sequential,
+    opt: &dyn Optimizer,
+    cfg: &TrainConfig,
+    digest: u64,
+    epochs_done: usize,
+    history: &[EpochStats],
+) -> Result<()> {
+    let Some(ck) = &cfg.checkpoint else {
+        return Ok(());
+    };
+    if !epochs_done.is_multiple_of(ck.every.max(1)) && epochs_done != cfg.epochs {
+        return Ok(());
+    }
+    checkpoint::save(
+        &ck.path,
+        &TrainCheckpoint {
+            digest,
+            epochs_done,
+            model: crate::serialize::model_to_bytes(net),
+            optimizer: opt.state_bytes(),
+            history: history.to_vec(),
+        },
+    )
 }
 
 /// Statistics of one training epoch.
@@ -160,14 +244,32 @@ pub fn fit_classifier(
         }));
     }
     let obs = TrainObs::resolve("classifier");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Config fingerprint for checkpoint matching; the epoch count is
+    // deliberately excluded so extending a run resumes instead of restarts.
+    let mut digest_words = vec![
+        1u64, // classifier
+        cfg.batch_size as u64,
+        cfg.seed,
+        cfg.label_smoothing.to_bits() as u64,
+        n as u64,
+    ];
+    digest_words.extend(x.shape().dims().iter().map(|&d| d as u64));
+    let digest = checkpoint::digest_parts(&digest_words);
+    let (start_epoch, mut history) = try_resume(net, opt, cfg, digest)?;
     let mut order: Vec<usize> = (0..n).collect();
-    let mut history = Vec::with_capacity(cfg.epochs);
-    for epoch in 0..cfg.epochs {
+    history.reserve(cfg.epochs.saturating_sub(history.len()));
+    for epoch in start_epoch..cfg.epochs {
         let _epoch_span = Span::enter("train/epoch");
         // lint-ok(gated-clocks): per-epoch wall time feeds EpochStats, part
         // of the training-history API returned to callers.
         let epoch_start = Instant::now();
+        let mut rng = epoch_rng(cfg.seed, epoch);
+        // Reset to the identity permutation so the epoch's order depends
+        // only on (seed, epoch) — a resumed run must see the same shuffle
+        // an uninterrupted one would.
+        for (i, slot) in order.iter_mut().enumerate() {
+            *slot = i;
+        }
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0f32;
         let mut acc_sum = 0.0f32;
@@ -207,6 +309,7 @@ pub fn fit_classifier(
             );
         }
         history.push(stats);
+        maybe_checkpoint(net, &*opt, cfg, digest, epoch + 1, &history)?;
     }
     Ok(history)
 }
@@ -331,14 +434,43 @@ pub fn fit_autoencoder_with(
 ) -> Result<Vec<EpochStats>> {
     let n = check_nonempty(x, cfg)?;
     let obs = TrainObs::resolve("autoencoder");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let (loss_tag, corruption_words) = match corruption {
+        Corruption::None => (0u64, [0u64, 0]),
+        Corruption::Gaussian(s) => (1, [s.to_bits() as u64, 0]),
+        Corruption::GaussianPlusSmooth { gaussian, smooth } => {
+            (2, [gaussian.to_bits() as u64, smooth.to_bits() as u64])
+        }
+    };
+    let mut digest_words = vec![
+        2u64, // autoencoder
+        cfg.batch_size as u64,
+        cfg.seed,
+        match loss_kind {
+            ReconstructionLoss::MeanSquaredError => 0,
+            ReconstructionLoss::MeanAbsoluteError => 1,
+        },
+        loss_tag,
+        corruption_words[0],
+        corruption_words[1],
+        n as u64,
+    ];
+    digest_words.extend(x.shape().dims().iter().map(|&d| d as u64));
+    let digest = checkpoint::digest_parts(&digest_words);
+    let (start_epoch, mut history) = try_resume(net, opt, cfg, digest)?;
     let mut order: Vec<usize> = (0..n).collect();
-    let mut history = Vec::with_capacity(cfg.epochs);
-    for epoch in 0..cfg.epochs {
+    history.reserve(cfg.epochs.saturating_sub(history.len()));
+    for epoch in start_epoch..cfg.epochs {
         let _epoch_span = Span::enter("train/epoch");
         // lint-ok(gated-clocks): per-epoch wall time feeds EpochStats, part
         // of the training-history API returned to callers.
         let epoch_start = Instant::now();
+        let mut rng = epoch_rng(cfg.seed, epoch);
+        // Reset to the identity permutation so the epoch's order depends
+        // only on (seed, epoch) — a resumed run must see the same shuffle
+        // an uninterrupted one would.
+        for (i, slot) in order.iter_mut().enumerate() {
+            *slot = i;
+        }
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0f32;
         let mut batches = 0usize;
@@ -371,6 +503,7 @@ pub fn fit_autoencoder_with(
             eprintln!("epoch {:>3}: recon loss {:.6}", epoch, stats.loss);
         }
         history.push(stats);
+        maybe_checkpoint(net, &*opt, cfg, digest, epoch + 1, &history)?;
     }
     Ok(history)
 }
@@ -379,7 +512,7 @@ pub fn fit_autoencoder_with(
 mod tests {
     use super::*;
     use crate::layers::Activation;
-    use crate::optim::Adam;
+    use crate::optim::{Adam, Sgd};
     use crate::LayerSpec;
 
     /// Two linearly separable blobs in 2-D.
@@ -424,6 +557,7 @@ mod tests {
             seed: 1,
             label_smoothing: 0.0,
             verbose: false,
+            checkpoint: None,
         };
         let history = fit_classifier(&mut net, &mut opt, &x, &y, &cfg).unwrap();
         let last = history.last().unwrap();
@@ -462,6 +596,7 @@ mod tests {
             seed: 2,
             label_smoothing: 0.0,
             verbose: false,
+            checkpoint: None,
         };
         let history = fit_autoencoder(
             &mut net,
@@ -555,6 +690,171 @@ mod tests {
         assert!(fit_classifier(&mut net, &mut opt, &x, &y[..2], &cfg).is_err());
     }
 
+    fn blob_net(seed: u64) -> Sequential {
+        Sequential::from_specs(
+            &[
+                LayerSpec::Dense {
+                    inputs: 2,
+                    outputs: 8,
+                },
+                LayerSpec::Activation(Activation::Relu),
+                LayerSpec::Dense {
+                    inputs: 8,
+                    outputs: 2,
+                },
+            ],
+            seed,
+        )
+        .unwrap()
+    }
+
+    fn params_of(net: &Sequential) -> Vec<Tensor> {
+        net.params().iter().map(|p| p.value.clone()).collect()
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_to_uninterrupted_run() {
+        let dir = std::env::temp_dir().join("adv_nn_train_resume_cls");
+        std::fs::remove_dir_all(&dir).ok();
+        let (x, y) = blobs(60);
+        let cfg = |epochs: usize, ckpt: Option<CheckpointCfg>| TrainConfig {
+            epochs,
+            batch_size: 16,
+            seed: 21,
+            label_smoothing: 0.0,
+            verbose: false,
+            checkpoint: ckpt,
+        };
+
+        // Uninterrupted 6-epoch run, no checkpointing at all.
+        let mut net_a = blob_net(9);
+        let mut opt_a = Adam::with_defaults(0.05);
+        let hist_a = fit_classifier(&mut net_a, &mut opt_a, &x, &y, &cfg(6, None)).unwrap();
+
+        // "Killed" run: 3 epochs with a checkpoint, then a *fresh* net and
+        // optimizer asked for 6 epochs — must resume at 3 and land on the
+        // same bits.
+        let ck = CheckpointCfg::every_epoch(dir.join("cls.ckpt"));
+        let mut net_b = blob_net(9);
+        let mut opt_b = Adam::with_defaults(0.05);
+        fit_classifier(&mut net_b, &mut opt_b, &x, &y, &cfg(3, Some(ck.clone()))).unwrap();
+
+        let mut net_c = blob_net(9);
+        let mut opt_c = Adam::with_defaults(0.05);
+        let hist_c = fit_classifier(&mut net_c, &mut opt_c, &x, &y, &cfg(6, Some(ck))).unwrap();
+
+        assert_eq!(params_of(&net_a), params_of(&net_c), "weights diverged");
+        assert_eq!(hist_a.len(), hist_c.len());
+        for (a, c) in hist_a.iter().zip(&hist_c) {
+            assert_eq!(a.epoch, c.epoch);
+            assert_eq!(a.loss.to_bits(), c.loss.to_bits(), "epoch {}", a.epoch);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn autoencoder_checkpoint_resume_is_bit_identical() {
+        let dir = std::env::temp_dir().join("adv_nn_train_resume_ae");
+        std::fs::remove_dir_all(&dir).ok();
+        let x = Tensor::from_fn(Shape::matrix(48, 4), |i| ((i * 29) % 11) as f32 / 11.0);
+        let ae = || {
+            Sequential::from_specs(
+                &[
+                    LayerSpec::Dense {
+                        inputs: 4,
+                        outputs: 5,
+                    },
+                    LayerSpec::Activation(Activation::Sigmoid),
+                    LayerSpec::Dense {
+                        inputs: 5,
+                        outputs: 4,
+                    },
+                ],
+                4,
+            )
+            .unwrap()
+        };
+        let cfg = |epochs: usize, ckpt: Option<CheckpointCfg>| TrainConfig {
+            epochs,
+            batch_size: 16,
+            seed: 33,
+            label_smoothing: 0.0,
+            verbose: false,
+            checkpoint: ckpt,
+        };
+        let mut net_a = ae();
+        let mut opt_a = Sgd::new(0.1, 0.9);
+        fit_autoencoder(
+            &mut net_a,
+            &mut opt_a,
+            &x,
+            ReconstructionLoss::MeanAbsoluteError,
+            0.05,
+            &cfg(4, None),
+        )
+        .unwrap();
+
+        let ck = CheckpointCfg::every_epoch(dir.join("ae.ckpt"));
+        let mut net_b = ae();
+        let mut opt_b = Sgd::new(0.1, 0.9);
+        fit_autoencoder(
+            &mut net_b,
+            &mut opt_b,
+            &x,
+            ReconstructionLoss::MeanAbsoluteError,
+            0.05,
+            &cfg(2, Some(ck.clone())),
+        )
+        .unwrap();
+        let mut net_c = ae();
+        let mut opt_c = Sgd::new(0.1, 0.9);
+        fit_autoencoder(
+            &mut net_c,
+            &mut opt_c,
+            &x,
+            ReconstructionLoss::MeanAbsoluteError,
+            0.05,
+            &cfg(4, Some(ck)),
+        )
+        .unwrap();
+        assert_eq!(params_of(&net_a), params_of(&net_c));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn config_change_ignores_stale_checkpoint() {
+        let dir = std::env::temp_dir().join("adv_nn_train_stale_ckpt");
+        std::fs::remove_dir_all(&dir).ok();
+        let (x, y) = blobs(40);
+        let ck = CheckpointCfg::every_epoch(dir.join("cls.ckpt"));
+        let mk = |seed: u64| TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            seed,
+            label_smoothing: 0.0,
+            verbose: false,
+            checkpoint: Some(ck.clone()),
+        };
+        let mut net = blob_net(1);
+        let mut opt = Adam::with_defaults(0.05);
+        fit_classifier(&mut net, &mut opt, &x, &y, &mk(1)).unwrap();
+
+        // Different seed ⇒ different digest ⇒ a full 2-epoch retrain, which
+        // must match a run that never saw the stale checkpoint.
+        let mut net_b = blob_net(1);
+        let mut opt_b = Adam::with_defaults(0.05);
+        fit_classifier(&mut net_b, &mut opt_b, &x, &y, &mk(2)).unwrap();
+        let mut net_c = blob_net(1);
+        let mut opt_c = Adam::with_defaults(0.05);
+        let cfg_clean = TrainConfig {
+            checkpoint: None,
+            ..mk(2)
+        };
+        fit_classifier(&mut net_c, &mut opt_c, &x, &y, &cfg_clean).unwrap();
+        assert_eq!(params_of(&net_b), params_of(&net_c));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn training_is_reproducible() {
         let (x, y) = blobs(50);
@@ -574,6 +874,7 @@ mod tests {
                 seed: 11,
                 label_smoothing: 0.0,
                 verbose: false,
+                checkpoint: None,
             };
             fit_classifier(&mut net, &mut opt, &x, &y, &cfg).unwrap();
             net.params()[0].value.clone()

@@ -1,0 +1,134 @@
+//! The versioned artifact envelope.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   "ADVSTOR1"   8 bytes
+//! version u32          currently 1
+//! length  u64          payload byte count
+//! crc32   u32          CRC32 of the payload
+//! payload [u8; length]
+//! ```
+//!
+//! Validation is strict: wrong magic, unknown version, a length that does
+//! not match the file, trailing bytes after the payload, or a CRC mismatch
+//! all reject the file. Combined with the atomic writer this means a stored
+//! artifact is either exactly what was written or detectably corrupt.
+
+use crate::crc::crc32;
+use crate::obs;
+
+/// The envelope magic.
+pub const ENVELOPE_MAGIC: &[u8; 8] = b"ADVSTOR1";
+
+/// Envelope format version this build writes and accepts.
+const VERSION: u32 = 1;
+
+/// Bytes the envelope adds on top of the payload.
+pub const ENVELOPE_OVERHEAD: usize = 8 + 4 + 8 + 4;
+
+/// Wraps `payload` in a sealed envelope.
+pub fn seal_envelope(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ENVELOPE_OVERHEAD + payload.len());
+    out.extend_from_slice(ENVELOPE_MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates an envelope and returns a view of the payload.
+///
+/// # Errors
+///
+/// A human-readable reason string; CRC mismatches additionally bump the
+/// `store.crc_failures` counter.
+// lint-ok(crate-error-types): the reason string is deliberately path-free —
+// `load_artifact` folds it into `StoreError::Corrupt` with the file path,
+// which this pure validator does not know.
+pub fn open_envelope(data: &[u8]) -> Result<&[u8], String> {
+    if data.len() < ENVELOPE_OVERHEAD {
+        return Err(format!(
+            "truncated envelope: {} bytes, header needs {ENVELOPE_OVERHEAD}",
+            data.len()
+        ));
+    }
+    let (magic, rest) = data.split_at(8);
+    if magic != ENVELOPE_MAGIC {
+        return Err("bad envelope magic".into());
+    }
+    let version = u32::from_le_bytes(field::<4>(rest, 0)?);
+    if version != VERSION {
+        return Err(format!("unsupported envelope version {version}"));
+    }
+    let length = u64::from_le_bytes(field::<8>(rest, 4)?);
+    let payload = &rest[16..];
+    if payload.len() as u64 != length {
+        return Err(format!(
+            "length mismatch: header says {length}, file carries {}",
+            payload.len()
+        ));
+    }
+    let stored_crc = u32::from_le_bytes(field::<4>(rest, 12)?);
+    let actual_crc = crc32(payload);
+    if stored_crc != actual_crc {
+        obs::bump(crate::metric_names::CRC_FAILURES);
+        return Err(format!(
+            "crc mismatch: stored {stored_crc:08x}, computed {actual_crc:08x}"
+        ));
+    }
+    Ok(payload)
+}
+
+/// Reads `N` bytes at `offset` of `data` as a fixed array.
+fn field<const N: usize>(data: &[u8], offset: usize) -> Result<[u8; N], String> {
+    data.get(offset..offset + N)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| "truncated envelope header".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for payload in [&b""[..], b"x", b"a longer payload with content"] {
+            let sealed = seal_envelope(payload);
+            assert_eq!(open_envelope(&sealed).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut sealed = seal_envelope(b"abc");
+        sealed[0] = b'X';
+        assert!(open_envelope(&sealed).unwrap_err().contains("magic"));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut sealed = seal_envelope(b"abc");
+        sealed[8] = 9;
+        assert!(open_envelope(&sealed).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn truncation_and_extension_rejected() {
+        let sealed = seal_envelope(b"some payload");
+        let short = &sealed[..sealed.len() - 1];
+        assert!(open_envelope(short).unwrap_err().contains("length"));
+        let mut long = sealed.clone();
+        long.push(0);
+        assert!(open_envelope(&long).unwrap_err().contains("length"));
+    }
+
+    #[test]
+    fn payload_corruption_rejected() {
+        let mut sealed = seal_envelope(b"some payload");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 1;
+        assert!(open_envelope(&sealed).unwrap_err().contains("crc"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Injectable I/O faults for durability testing.
+//!
+//! The store's crash-safety claims are only worth what they survive, so the
+//! write paths consult an optional process-wide [`IoFaultHook`] before
+//! committing bytes. `adv-chaos` implements the hook with seeded,
+//! deterministic fault schedules; production runs never install one, and
+//! the disarmed fast path is a single relaxed atomic load.
+//!
+//! The three faults model the failure classes the envelope must catch:
+//!
+//! * [`WriteFault::TornWrite`] — only the first `k` bytes reach the disk
+//!   (a kill or power cut mid-write, or filesystem truncation).
+//! * [`WriteFault::BitFlip`] — one bit of the written image is flipped
+//!   (media corruption past the filesystem's own checks).
+//! * [`WriteFault::TransientError`] — the write fails with an error the
+//!   caller sees immediately (ENOSPC-style transients).
+//!
+//! Torn writes and bit flips are *silent*: the writer reports success and
+//! detection is the job of envelope validation on the next load. That is
+//! deliberate — it simulates corruption the writing process never saw.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// What a fault hook decided for one write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Write normally.
+    None,
+    /// Persist only the first `k` bytes (`k` < payload length) and report
+    /// success.
+    TornWrite(usize),
+    /// Flip bit `b` (counting over the whole byte image) and report
+    /// success.
+    BitFlip(usize),
+    /// Fail the write with [`crate::StoreError::InjectedWriteFault`]
+    /// without touching the file.
+    TransientError,
+}
+
+/// A source of write faults. Implemented by `adv-chaos`'s seeded plans.
+pub trait IoFaultHook: Send + Sync {
+    /// The fault to apply to a `len`-byte write of `path`.
+    fn on_write(&self, path: &Path, len: usize) -> WriteFault;
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static HOOK: RwLock<Option<Arc<dyn IoFaultHook>>> = RwLock::new(None);
+
+/// Installs (or with `None`, removes) the process-wide fault hook and
+/// returns the previous one. Tests that install a hook must serialize on
+/// their own lock — the hook is global state.
+pub fn install_fault_hook(hook: Option<Arc<dyn IoFaultHook>>) -> Option<Arc<dyn IoFaultHook>> {
+    let mut slot = crate::unpoison(HOOK.write());
+    // lint-ok(ordering-justified): the armed flag is an optimisation hint;
+    // readers that see a stale `true` take the lock and find `None`, and
+    // installs are test-setup events ordered by the caller's own lock.
+    ARMED.store(hook.is_some(), Ordering::Relaxed);
+    std::mem::replace(&mut *slot, hook)
+}
+
+/// The fault decision for one write — [`WriteFault::None`] unless a hook is
+/// installed.
+pub(crate) fn decide(path: &Path, len: usize) -> WriteFault {
+    // lint-ok(ordering-justified): see `install_fault_hook`; a stale read
+    // only costs (or skips) one lock acquisition during test setup races.
+    if !ARMED.load(Ordering::Relaxed) {
+        return WriteFault::None;
+    }
+    let slot = crate::unpoison(HOOK.read());
+    match &*slot {
+        Some(hook) => hook.on_write(path, len),
+        None => WriteFault::None,
+    }
+}
+
+/// Applies a silent fault to the byte image about to be written.
+pub(crate) fn corrupt_image(bytes: &[u8], fault: WriteFault) -> Option<Vec<u8>> {
+    match fault {
+        WriteFault::TornWrite(k) => Some(bytes.get(..k.min(bytes.len())).unwrap_or(&[]).to_vec()),
+        WriteFault::BitFlip(bit) => {
+            let mut out = bytes.to_vec();
+            if out.is_empty() {
+                return Some(out);
+            }
+            let byte = (bit / 8) % out.len();
+            if let Some(b) = out.get_mut(byte) {
+                *b ^= 1 << (bit % 8);
+            }
+            Some(out)
+        }
+        WriteFault::None | WriteFault::TransientError => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    struct CountingHook(AtomicUsize);
+    impl IoFaultHook for CountingHook {
+        fn on_write(&self, _path: &Path, _len: usize) -> WriteFault {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            WriteFault::None
+        }
+    }
+
+    #[test]
+    fn hook_lifecycle() {
+        let _guard = crate::test_hook_lock();
+        assert_eq!(decide(Path::new("x"), 4), WriteFault::None);
+        let hook = Arc::new(CountingHook(AtomicUsize::new(0)));
+        let prev = install_fault_hook(Some(hook.clone()));
+        assert!(prev.is_none());
+        decide(Path::new("x"), 4);
+        decide(Path::new("y"), 4);
+        assert_eq!(hook.0.load(Ordering::Relaxed), 2);
+        install_fault_hook(None);
+        decide(Path::new("x"), 4);
+        assert_eq!(hook.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn corrupt_image_shapes() {
+        let bytes = vec![0xFFu8; 8];
+        assert_eq!(corrupt_image(&bytes, WriteFault::None), None);
+        assert_eq!(corrupt_image(&bytes, WriteFault::TransientError), None);
+        assert_eq!(
+            corrupt_image(&bytes, WriteFault::TornWrite(3))
+                .unwrap()
+                .len(),
+            3
+        );
+        // Torn length is clamped to the image.
+        assert_eq!(
+            corrupt_image(&bytes, WriteFault::TornWrite(99))
+                .unwrap()
+                .len(),
+            8
+        );
+        let flipped = corrupt_image(&bytes, WriteFault::BitFlip(13)).unwrap();
+        assert_eq!(flipped.len(), 8);
+        let diff: u32 = flipped
+            .iter()
+            .zip(&bytes)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1, "exactly one bit must differ");
+    }
+}

@@ -1,0 +1,8 @@
+//! Thin adapter onto the `adv-obs` registry: one relaxed load when
+//! telemetry is off, a counter bump when it is on.
+
+pub(crate) fn bump(name: &str) {
+    if adv_obs::metrics_enabled() {
+        adv_obs::global().counter(name).incr();
+    }
+}

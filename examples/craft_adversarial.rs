@@ -36,6 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 3,
             label_smoothing: 0.0,
             verbose: false,
+            checkpoint: None,
         },
     )?;
 

@@ -33,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 1,
             label_smoothing: 0.0,
             verbose: false,
+            checkpoint: None,
         },
     )?;
 

@@ -34,6 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 6,
             label_smoothing: 0.0,
             verbose: false,
+            checkpoint: None,
         },
     )?;
 

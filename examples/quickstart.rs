@@ -29,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 7,
         label_smoothing: 0.0,
         verbose: true,
+        checkpoint: None,
     };
     fit_classifier(
         &mut classifier,

@@ -33,6 +33,7 @@ fn classifier_learns_synthetic_mnist() {
         seed: 4,
         label_smoothing: 0.0,
         verbose: false,
+        checkpoint: None,
     };
     fit_classifier(&mut net, &mut opt, train.images(), train.labels(), &cfg).unwrap();
     let acc = magnet_l1::eval::zoo::classifier_accuracy(&mut net, &test).unwrap();
@@ -52,6 +53,7 @@ fn classifier_learns_synthetic_cifar() {
         seed: 4,
         label_smoothing: 0.0,
         verbose: false,
+        checkpoint: None,
     };
     fit_classifier(&mut net, &mut opt, train.images(), train.labels(), &cfg).unwrap();
     let acc = magnet_l1::eval::zoo::classifier_accuracy(&mut net, &test).unwrap();
