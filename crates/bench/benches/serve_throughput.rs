@@ -18,6 +18,7 @@ use adv_magnet::{
     DefenseScheme, Detector, JsdDetector, MagnetDefense, ReconstructionDetector, ReconstructionNorm,
 };
 use adv_serve::{ServeConfig, ServeEngine};
+use adv_telemetry::{RecorderConfig, TelemetryRecorder};
 use adv_tensor::Tensor;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -128,6 +129,42 @@ fn bench_serve_throughput(c: &mut Criterion) {
         })
     });
     engine.shutdown();
+
+    // Telemetry tap on the same batch-32 engine: the per-response cost is
+    // one `TelemetryRow` build plus a non-blocking `try_send`, and the
+    // scored pipeline path replaces the unscored one. The budget is <5%
+    // over `server_b32`.
+    let tele_dir =
+        std::env::temp_dir().join(format!("adv_bench_serve_telemetry_{}", std::process::id()));
+    std::fs::remove_dir_all(&tele_dir).ok();
+    let recorder = TelemetryRecorder::start(RecorderConfig::new(&tele_dir)).unwrap();
+    let engine = ServeEngine::start(
+        defense.clone(),
+        ServeConfig {
+            max_batch: 32,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 2 * CORPUS,
+            workers: 1,
+            scheme: DefenseScheme::Full,
+            observer: Some(Arc::new(recorder.sink())),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    g.bench_function("server_b32_telemetry", |bench| {
+        bench.iter(|| {
+            let pending: Vec<_> = items
+                .iter()
+                .map(|t| engine.submit(t.clone()).unwrap())
+                .collect();
+            for p in pending {
+                black_box(p.wait().unwrap());
+            }
+        })
+    });
+    engine.shutdown();
+    recorder.shutdown().unwrap();
+    std::fs::remove_dir_all(&tele_dir).ok();
     g.finish();
 }
 

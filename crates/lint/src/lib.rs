@@ -108,6 +108,7 @@ impl LintConfig {
                 "adv-magnet",
                 "adv-lint",
                 "adv-store",
+                "adv-telemetry",
             ]),
             index_check_crates: s(&["adv-serve", "adv-obs", "adv-chaos"]),
             clock_crates: s(&[
@@ -121,6 +122,7 @@ impl LintConfig {
                 "adv-attacks",
                 "adv-lint",
                 "adv-store",
+                "adv-telemetry",
             ]),
         }
     }

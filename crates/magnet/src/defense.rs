@@ -130,6 +130,26 @@ pub trait DefensePipeline: Send + Sync + std::fmt::Debug {
         x: &Tensor,
         scheme: DefenseScheme,
     ) -> Result<(Vec<Verdict>, StageTimings)>;
+
+    /// Like [`classify_batch`](Self::classify_batch), but additionally
+    /// returns each deployed detector's per-item anomaly scores (outer index
+    /// = detector, in deployment order; empty under schemes that skip the
+    /// detectors). Telemetry recording rides on this.
+    ///
+    /// The default forwards to `classify_batch` with no scores, so wrappers
+    /// that only decorate verdicts keep working unchanged.
+    ///
+    /// # Errors
+    ///
+    /// As [`classify_batch`](Self::classify_batch).
+    fn classify_batch_scored(
+        &self,
+        x: &Tensor,
+        scheme: DefenseScheme,
+    ) -> Result<(Vec<Verdict>, Vec<Vec<f32>>, StageTimings)> {
+        let (verdicts, timings) = self.classify_batch(x, scheme)?;
+        Ok((verdicts, Vec::new(), timings))
+    }
 }
 
 impl DefensePipeline for MagnetDefense {
@@ -145,6 +165,14 @@ impl DefensePipeline for MagnetDefense {
         // The fused pass is the serving hot path: bit-identical to
         // `classify`, with shared sub-computations memoised per batch.
         self.classify_fused(x, scheme)
+    }
+
+    fn classify_batch_scored(
+        &self,
+        x: &Tensor,
+        scheme: DefenseScheme,
+    ) -> Result<(Vec<Verdict>, Vec<Vec<f32>>, StageTimings)> {
+        self.classify_fused_scored(x, scheme)
     }
 }
 
@@ -337,6 +365,25 @@ impl MagnetDefense {
         x: &Tensor,
         scheme: DefenseScheme,
     ) -> Result<(Vec<Verdict>, StageTimings)> {
+        let (verdicts, _, timings) = self.classify_fused_scored(x, scheme)?;
+        Ok((verdicts, timings))
+    }
+
+    /// Like [`classify_fused`](Self::classify_fused), but also returns each
+    /// detector's per-item scores (outer index = detector, deployment
+    /// order; empty under schemes that skip the detectors). The verdicts
+    /// are bit-identical to `classify_fused` — flags are `score >
+    /// threshold` on the exact same score vectors the detectors already
+    /// compute, so keeping them costs no extra pipeline work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector and classifier errors.
+    pub fn classify_fused_scored(
+        &self,
+        x: &Tensor,
+        scheme: DefenseScheme,
+    ) -> Result<(Vec<Verdict>, Vec<Vec<f32>>, StageTimings)> {
         let n = x.shape().dim(0);
         let mut timings = StageTimings::default();
         let mut cache = InferenceCache::new();
@@ -344,14 +391,26 @@ impl MagnetDefense {
         // lint-ok(gated-clocks): StageTimings.detect is part of the
         // classify_timed/classify_fused API; the clock read is the feature.
         let t0 = std::time::Instant::now();
+        let mut det_scores: Vec<Vec<f32>> = Vec::new();
         let detected = match scheme {
             DefenseScheme::DetectorOnly | DefenseScheme::Full => {
                 let _span = Span::enter("magnet/detect");
                 let mut combined = vec![false; n];
                 for det in &self.detectors {
-                    for (c, f) in combined.iter_mut().zip(det.flags_fused(x, &mut cache)?) {
-                        *c |= f;
+                    // Inline of Detector::flags_fused, keeping the scores:
+                    // same threshold lookup, same record_scores call, same
+                    // strict `>` comparison.
+                    let threshold =
+                        det.threshold()
+                            .ok_or_else(|| crate::MagnetError::Uncalibrated {
+                                detector: det.name(),
+                            })?;
+                    let scores = det.scores_fused(x, &mut cache)?;
+                    crate::detector::record_scores(&det.name(), &scores);
+                    for (c, s) in combined.iter_mut().zip(&scores) {
+                        *c |= *s > threshold;
                     }
+                    det_scores.push(scores);
                 }
                 timings.detect = t0.elapsed();
                 combined
@@ -394,7 +453,7 @@ impl MagnetDefense {
             })
             .collect();
         record_verdicts(&verdicts);
-        Ok((verdicts, timings))
+        Ok((verdicts, det_scores, timings))
     }
 
     /// The paper's *classification accuracy* of the defense on a batch with
@@ -613,6 +672,25 @@ mod tests {
         // Distinct: AE(x), logits(x), logits(AE(x)) = 3.
         assert_eq!(cache.misses(), 3, "distinct sub-computations");
         assert_eq!(cache.hits(), 6, "deduplicated sub-computations");
+    }
+
+    #[test]
+    fn scored_pipeline_is_bit_identical_and_exposes_scores() {
+        let mut d = jsd_defense();
+        d.calibrate_detectors(&toy_batch(64), 0.05).unwrap();
+        let x = toy_batch(6);
+        for scheme in DefenseScheme::ALL {
+            let (plain, _) = d.classify_fused(&x, scheme).unwrap();
+            let (scored, scores, _) = d.classify_fused_scored(&x, scheme).unwrap();
+            assert_eq!(scored, plain, "{scheme:?}");
+            match scheme {
+                DefenseScheme::DetectorOnly | DefenseScheme::Full => {
+                    assert_eq!(scores.len(), d.num_detectors(), "{scheme:?}");
+                    assert!(scores.iter().all(|col| col.len() == 6));
+                }
+                _ => assert!(scores.is_empty(), "{scheme:?}"),
+            }
+        }
     }
 
     #[test]

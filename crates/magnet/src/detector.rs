@@ -11,7 +11,7 @@ use std::fmt;
 /// Feeds per-item anomaly scores into the global `adv-obs` registry under
 /// `magnet.detector_score.<name>` (score-ladder buckets). No-op unless
 /// metrics are enabled; never alters the scores.
-fn record_scores(name: &str, scores: &[f32]) {
+pub(crate) fn record_scores(name: &str, scores: &[f32]) {
     if !adv_obs::metrics_enabled() {
         return;
     }

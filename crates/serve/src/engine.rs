@@ -30,6 +30,7 @@
 use crate::breaker::{BatchRole, Breaker, BreakerEvent};
 use crate::health::HealthState;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::observe::{RequestTag, ResponseObserver, ServedRecord};
 use crate::queue::{BoundedQueue, PushError};
 use crate::{DegradePolicy, EngineHealth, RestartPolicy};
 use crate::{Result, ServeError};
@@ -73,6 +74,11 @@ pub struct ServeConfig {
     /// Deterministic fault injector for chaos tests. `None` (the default)
     /// costs one branch per batch poll and nothing per request.
     pub injector: Option<Arc<FaultInjector>>,
+    /// Per-response observer (e.g. a telemetry recorder). `None` (the
+    /// default) keeps the unscored pipeline path and adds nothing per
+    /// request; when set, batches run through the scored pipeline and every
+    /// served request is reported via [`ResponseObserver::on_response`].
+    pub observer: Option<Arc<dyn ResponseObserver>>,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +94,7 @@ impl Default for ServeConfig {
             restart: RestartPolicy::default(),
             degrade: DegradePolicy::default(),
             injector: None,
+            observer: None,
         }
     }
 }
@@ -149,6 +156,7 @@ impl PendingVerdict {
 #[derive(Debug)]
 struct Request {
     input: Tensor,
+    tag: RequestTag,
     submitted: Instant,
     deadline: Option<Instant>,
     tx: mpsc::Sender<Result<ServeResponse>>,
@@ -277,7 +285,18 @@ impl ServeEngine {
     /// [`ServeError::ShuttingDown`] after shutdown began (or after the
     /// engine entered [`EngineHealth::Failed`]).
     pub fn submit(&self, input: Tensor) -> Result<PendingVerdict> {
-        self.submit_inner(input, None)
+        self.submit_inner(input, RequestTag::default(), None)
+    }
+
+    /// Like [`submit`](Self::submit), but attaches a [`RequestTag`]
+    /// (tenant/route/sample identity) that rides along to the response
+    /// observer — recorded traffic becomes filterable and replayable.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit).
+    pub fn submit_tagged(&self, input: Tensor, tag: RequestTag) -> Result<PendingVerdict> {
+        self.submit_inner(input, tag, None)
     }
 
     /// Like [`submit`](Self::submit), but gives the request a server-side
@@ -289,10 +308,29 @@ impl ServeEngine {
     /// As [`submit`](Self::submit); the `Timeout` itself surfaces on
     /// [`PendingVerdict::wait`].
     pub fn submit_with_deadline(&self, input: Tensor, budget: Duration) -> Result<PendingVerdict> {
-        self.submit_inner(input, Some(budget))
+        self.submit_inner(input, RequestTag::default(), Some(budget))
     }
 
-    fn submit_inner(&self, input: Tensor, budget: Option<Duration>) -> Result<PendingVerdict> {
+    /// [`submit_tagged`](Self::submit_tagged) with a server-side deadline.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit_with_deadline`](Self::submit_with_deadline).
+    pub fn submit_tagged_with_deadline(
+        &self,
+        input: Tensor,
+        tag: RequestTag,
+        budget: Duration,
+    ) -> Result<PendingVerdict> {
+        self.submit_inner(input, tag, Some(budget))
+    }
+
+    fn submit_inner(
+        &self,
+        input: Tensor,
+        tag: RequestTag,
+        budget: Option<Duration>,
+    ) -> Result<PendingVerdict> {
         let (tx, rx) = mpsc::channel();
         // lint-ok(gated-clocks): the submission timestamp feeds the
         // queue-wait/latency fields of ServeResponse and anchors the
@@ -301,6 +339,7 @@ impl ServeEngine {
         let submitted = Instant::now();
         let request = Request {
             input,
+            tag,
             submitted,
             deadline: budget.map(|b| submitted + b),
             tx,
@@ -508,10 +547,19 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Request>) -> WorkerExit {
                     // between detectors, reformer, and classifier within
                     // the batch; its verdicts are bit-identical to serial
                     // classification (the equivalence tests pin this), so
-                    // batching changes throughput, not results.
-                    ctx.pipeline
-                        .classify_batch(&x, scheme)
-                        .map_err(|e| ServeError::Pipeline(e.to_string()))
+                    // batching changes throughput, not results. The scored
+                    // variant (same verdicts, detector scores kept instead
+                    // of dropped) runs only when an observer wants them.
+                    if cfg.observer.is_some() {
+                        ctx.pipeline
+                            .classify_batch_scored(&x, scheme)
+                            .map_err(|e| ServeError::Pipeline(e.to_string()))
+                    } else {
+                        ctx.pipeline
+                            .classify_batch(&x, scheme)
+                            .map(|(verdicts, timings)| (verdicts, Vec::new(), timings))
+                            .map_err(|e| ServeError::Pipeline(e.to_string()))
+                    }
                 })
             }));
             match run {
@@ -530,7 +578,7 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Request>) -> WorkerExit {
         };
 
         match outcome {
-            Exec::Served((verdicts, timings)) => {
+            Exec::Served((verdicts, det_scores, timings)) => {
                 if shared.breaker.on_success(role) == Some(BreakerEvent::Closed) {
                     shared.metrics.record_breaker_closed();
                     let _t = Span::enter("serve/breaker/close");
@@ -539,7 +587,7 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Request>) -> WorkerExit {
                     .metrics
                     .record_batch(timings.detect, timings.reform, timings.classify);
                 let batch_size = group.len();
-                for (request, verdict) in group.into_iter().zip(verdicts) {
+                for (i, (request, verdict)) in group.into_iter().zip(verdicts).enumerate() {
                     let response = ServeResponse {
                         verdict,
                         stage_timings: timings,
@@ -552,6 +600,24 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Request>) -> WorkerExit {
                     shared.metrics.record_completed(response.latency);
                     if degraded {
                         shared.metrics.record_degraded_response();
+                    }
+                    if let Some(observer) = &cfg.observer {
+                        // Gather this item's score across the per-detector
+                        // columns; allocated only on the observed path.
+                        let scores: Vec<f32> = det_scores
+                            .iter()
+                            .filter_map(|col| col.get(i).copied())
+                            .collect();
+                        observer.on_response(&ServedRecord {
+                            tag: request.tag,
+                            verdict,
+                            scheme,
+                            degraded,
+                            queue_ns: response.queue_wait.as_nanos() as u64,
+                            infer_ns: timings.total().as_nanos() as u64,
+                            tick_ns: shared.health.now_ns(),
+                            scores: &scores,
+                        });
                     }
                     respond(shared, &request.tx, Ok(response));
                 }
@@ -583,7 +649,7 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Request>) -> WorkerExit {
 
 /// How one batch group's execution ended.
 enum Exec {
-    Served((Vec<Verdict>, StageTimings)),
+    Served((Vec<Verdict>, Vec<Vec<f32>>, StageTimings)),
     Failed(ServeError),
     Panicked(String),
 }

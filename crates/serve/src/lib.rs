@@ -49,12 +49,14 @@ mod breaker;
 mod engine;
 mod health;
 mod metrics;
+pub mod observe;
 pub mod queue;
 
 pub use breaker::DegradePolicy;
 pub use engine::{PendingVerdict, ServeConfig, ServeEngine, ServeResponse, SITE_POLL};
 pub use health::{EngineHealth, RestartPolicy};
 pub use metrics::MetricsSnapshot;
+pub use observe::{RequestTag, ResponseObserver, ServedRecord};
 
 /// Errors surfaced by the serving engine.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -115,6 +115,28 @@ impl Journal {
         Journal::open(path, context)
     }
 
+    /// Reads the valid record prefix of the journal at `path` without
+    /// opening it for append: no header rewrite, no tail truncation, no
+    /// file locks — safe while another handle is actively appending. A
+    /// missing file, header mismatch, or foreign context yields an empty
+    /// list (there is nothing valid to replay), matching [`Journal::open`]'s
+    /// recovery semantics.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors other than `NotFound`.
+    pub fn read_records(path: impl AsRef<Path>, context: u64) -> Result<Vec<Vec<u8>>> {
+        let bytes = match std::fs::read(path.as_ref()) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        if !header_matches(&bytes, context) {
+            return Ok(Vec::new());
+        }
+        Ok(parse_records(&bytes).0)
+    }
+
     /// The records currently in the journal, oldest first.
     pub fn records(&self) -> &[Vec<u8>] {
         &self.records
@@ -255,6 +277,30 @@ mod tests {
         assert_eq!(j.records(), &[b"alpha".to_vec(), b"beta".to_vec()]);
         j.remove().unwrap();
         assert!(!path.exists());
+    }
+
+    #[test]
+    fn read_records_is_nondestructive() {
+        let path = tmp("readonly");
+        let mut j = Journal::open(&path, 11).unwrap();
+        j.append(b"one").unwrap();
+        j.append(b"two").unwrap();
+        // Read while the writer still holds the journal open for append.
+        let records = Journal::read_records(&path, 11).unwrap();
+        assert_eq!(records, vec![b"one".to_vec(), b"two".to_vec()]);
+        // Wrong context reads as empty, and never resets the real journal.
+        assert!(Journal::read_records(&path, 12).unwrap().is_empty());
+        j.append(b"three").unwrap();
+        drop(j);
+        // A torn tail is ignored by the reader but left on disk untouched.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 2]).unwrap();
+        assert_eq!(Journal::read_records(&path, 11).unwrap().len(), 2);
+        assert_eq!(std::fs::read(&path).unwrap().len(), full.len() - 2);
+        // Missing file reads as empty.
+        assert!(Journal::read_records(tmp("readonly-none"), 1)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -1,0 +1,582 @@
+//! Fixed-capacity columnar chunks: struct-of-arrays row storage with
+//! per-column min/max statistics.
+//!
+//! A chunk holds every row field as its own contiguous column, so a range
+//! query touching two of eleven columns reads two arrays, and the stats let
+//! the query layer skip whole chunks without opening them. Sealed layout
+//! (the payload inside `adv-store`'s `ADVSTOR1` envelope, little-endian):
+//!
+//! ```text
+//! magic   "ADVTCHK1"  8 bytes
+//! version u32         currently 1
+//! rows    u32
+//! tick    rows × u64      queue_ns  rows × u64
+//! tenant  rows × u32      infer_ns  rows × u64
+//! route   rows × u32      nscores   rows × u8
+//! sample  rows × u32      score[k]  rows × f32, k = 0..MAX_DETECTORS
+//! scheme  rows × u8
+//! degraded rows × u8
+//! verdict rows × i32
+//! ```
+//!
+//! Validation is strict: wrong magic/version, a row count that does not
+//! match the byte length, trailing bytes, or an unknown scheme code all
+//! reject the chunk (the store layer then quarantines it).
+
+use crate::row::{scheme_code, scheme_from_code, verdict_code, verdict_from_code};
+use crate::{TelemetryRow, MAX_DETECTORS};
+
+/// Magic prefix of a sealed chunk payload.
+pub const CHUNK_MAGIC: &[u8; 8] = b"ADVTCHK1";
+
+/// Chunk format version this build writes and accepts.
+const VERSION: u32 = 1;
+
+/// Header bytes before the columns.
+const HEADER_LEN: usize = 8 + 4 + 4;
+
+/// Bytes one row occupies across all columns.
+const ROW_BYTES: usize = 8 + 4 + 4 + 4 + 1 + 1 + 4 + 8 + 8 + 1 + 4 * MAX_DETECTORS;
+
+/// Per-column min/max statistics of a sealed chunk — everything the query
+/// layer needs to prune a chunk without reading it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkStats {
+    /// Rows in the chunk.
+    pub rows: u32,
+    /// Smallest timestamp tick.
+    pub tick_min: u64,
+    /// Largest timestamp tick.
+    pub tick_max: u64,
+    /// Smallest tenant key.
+    pub tenant_min: u32,
+    /// Largest tenant key.
+    pub tenant_max: u32,
+    /// Smallest route key.
+    pub route_min: u32,
+    /// Largest route key.
+    pub route_max: u32,
+    /// Bitmask of scheme codes present (`1 << scheme_code`).
+    pub scheme_mask: u8,
+    /// Any row served degraded.
+    pub any_degraded: bool,
+    /// Every row served degraded.
+    pub all_degraded: bool,
+    /// Any row's verdict was Detected.
+    pub any_detected: bool,
+    /// Every row's verdict was Detected.
+    pub all_detected: bool,
+    /// Per-score-column minima.
+    pub score_min: [f32; MAX_DETECTORS],
+    /// Per-score-column maxima.
+    pub score_max: [f32; MAX_DETECTORS],
+}
+
+/// Serialized size of [`ChunkStats`] in a manifest record.
+pub(crate) const STATS_BYTES: usize = 4 + 8 + 8 + 4 + 4 + 4 + 4 + 1 + 1 + 8 * MAX_DETECTORS;
+
+impl ChunkStats {
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.rows.to_le_bytes());
+        out.extend_from_slice(&self.tick_min.to_le_bytes());
+        out.extend_from_slice(&self.tick_max.to_le_bytes());
+        out.extend_from_slice(&self.tenant_min.to_le_bytes());
+        out.extend_from_slice(&self.tenant_max.to_le_bytes());
+        out.extend_from_slice(&self.route_min.to_le_bytes());
+        out.extend_from_slice(&self.route_max.to_le_bytes());
+        out.push(self.scheme_mask);
+        let flags = u8::from(self.any_degraded)
+            | u8::from(self.all_degraded) << 1
+            | u8::from(self.any_detected) << 2
+            | u8::from(self.all_detected) << 3;
+        out.push(flags);
+        for s in &self.score_min {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        for s in &self.score_max {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Result<ChunkStats, String> {
+        if bytes.len() != STATS_BYTES {
+            return Err(format!(
+                "stats record is {} bytes, expected {STATS_BYTES}",
+                bytes.len()
+            ));
+        }
+        let mut cur = Cursor::new(bytes);
+        let rows = cur.u32()?;
+        let tick_min = cur.u64()?;
+        let tick_max = cur.u64()?;
+        let tenant_min = cur.u32()?;
+        let tenant_max = cur.u32()?;
+        let route_min = cur.u32()?;
+        let route_max = cur.u32()?;
+        let scheme_mask = cur.u8()?;
+        let flags = cur.u8()?;
+        let mut score_min = [0f32; MAX_DETECTORS];
+        let mut score_max = [0f32; MAX_DETECTORS];
+        for s in &mut score_min {
+            *s = cur.f32()?;
+        }
+        for s in &mut score_max {
+            *s = cur.f32()?;
+        }
+        Ok(ChunkStats {
+            rows,
+            tick_min,
+            tick_max,
+            tenant_min,
+            tenant_max,
+            route_min,
+            route_max,
+            scheme_mask,
+            any_degraded: flags & 1 != 0,
+            all_degraded: flags & 2 != 0,
+            any_detected: flags & 4 != 0,
+            all_detected: flags & 8 != 0,
+            score_min,
+            score_max,
+        })
+    }
+}
+
+/// A columnar chunk: the in-memory open chunk of the writer, and the
+/// decoded form of a sealed chunk on the read path.
+#[derive(Debug, Clone, Default)]
+pub struct Chunk {
+    tick: Vec<u64>,
+    tenant: Vec<u32>,
+    route: Vec<u32>,
+    sample: Vec<u32>,
+    scheme: Vec<u8>,
+    degraded: Vec<u8>,
+    verdict: Vec<i32>,
+    queue_ns: Vec<u64>,
+    infer_ns: Vec<u64>,
+    nscores: Vec<u8>,
+    scores: [Vec<f32>; MAX_DETECTORS],
+}
+
+impl Chunk {
+    /// An empty chunk with column capacity reserved for `capacity` rows.
+    pub fn with_capacity(capacity: usize) -> Chunk {
+        Chunk {
+            tick: Vec::with_capacity(capacity),
+            tenant: Vec::with_capacity(capacity),
+            route: Vec::with_capacity(capacity),
+            sample: Vec::with_capacity(capacity),
+            scheme: Vec::with_capacity(capacity),
+            degraded: Vec::with_capacity(capacity),
+            verdict: Vec::with_capacity(capacity),
+            queue_ns: Vec::with_capacity(capacity),
+            infer_ns: Vec::with_capacity(capacity),
+            nscores: Vec::with_capacity(capacity),
+            scores: std::array::from_fn(|_| Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.tick.len()
+    }
+
+    /// `true` when the chunk holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.tick.is_empty()
+    }
+
+    /// Appends one row (column-wise).
+    pub fn push(&mut self, row: &TelemetryRow) {
+        self.tick.push(row.tick);
+        self.tenant.push(row.tenant);
+        self.route.push(row.route);
+        self.sample.push(row.sample);
+        self.scheme.push(scheme_code(row.scheme));
+        self.degraded.push(u8::from(row.degraded));
+        self.verdict.push(verdict_code(row.verdict));
+        self.queue_ns.push(row.queue_ns);
+        self.infer_ns.push(row.infer_ns);
+        let n = (row.nscores as usize).min(MAX_DETECTORS);
+        self.nscores.push(n as u8);
+        for (k, col) in self.scores.iter_mut().enumerate() {
+            col.push(row.scores.get(k).copied().unwrap_or(0.0));
+        }
+    }
+
+    /// Reassembles row `i`, or `None` past the end (or on a scheme code the
+    /// decoder should already have rejected).
+    pub fn row(&self, i: usize) -> Option<TelemetryRow> {
+        let mut scores = [0f32; MAX_DETECTORS];
+        for (slot, col) in scores.iter_mut().zip(self.scores.iter()) {
+            *slot = col.get(i).copied()?;
+        }
+        Some(TelemetryRow {
+            tick: self.tick.get(i).copied()?,
+            tenant: self.tenant.get(i).copied()?,
+            route: self.route.get(i).copied()?,
+            sample: self.sample.get(i).copied()?,
+            scheme: scheme_from_code(self.scheme.get(i).copied()?)?,
+            degraded: self.degraded.get(i).copied()? != 0,
+            verdict: verdict_from_code(self.verdict.get(i).copied()?),
+            queue_ns: self.queue_ns.get(i).copied()?,
+            infer_ns: self.infer_ns.get(i).copied()?,
+            nscores: self.nscores.get(i).copied()?,
+            scores,
+        })
+    }
+
+    /// Iterates the chunk's rows in append order.
+    pub fn rows(&self) -> impl Iterator<Item = TelemetryRow> + '_ {
+        (0..self.len()).filter_map(|i| self.row(i))
+    }
+
+    /// Direct view of the tick column (the time index).
+    pub fn ticks(&self) -> &[u64] {
+        &self.tick
+    }
+
+    /// Per-column min/max statistics over the current rows.
+    pub fn stats(&self) -> ChunkStats {
+        let mut stats = ChunkStats {
+            rows: self.len() as u32,
+            tick_min: u64::MAX,
+            tick_max: 0,
+            tenant_min: u32::MAX,
+            tenant_max: 0,
+            route_min: u32::MAX,
+            route_max: 0,
+            scheme_mask: 0,
+            any_degraded: false,
+            all_degraded: !self.is_empty(),
+            any_detected: false,
+            all_detected: !self.is_empty(),
+            score_min: [f32::INFINITY; MAX_DETECTORS],
+            score_max: [f32::NEG_INFINITY; MAX_DETECTORS],
+        };
+        for &t in &self.tick {
+            stats.tick_min = stats.tick_min.min(t);
+            stats.tick_max = stats.tick_max.max(t);
+        }
+        for &t in &self.tenant {
+            stats.tenant_min = stats.tenant_min.min(t);
+            stats.tenant_max = stats.tenant_max.max(t);
+        }
+        for &r in &self.route {
+            stats.route_min = stats.route_min.min(r);
+            stats.route_max = stats.route_max.max(r);
+        }
+        for &s in &self.scheme {
+            stats.scheme_mask |= 1u8.checked_shl(u32::from(s)).unwrap_or(0);
+        }
+        for &d in &self.degraded {
+            stats.any_degraded |= d != 0;
+            stats.all_degraded &= d != 0;
+        }
+        for &v in &self.verdict {
+            stats.any_detected |= v < 0;
+            stats.all_detected &= v < 0;
+        }
+        for (k, col) in self.scores.iter().enumerate() {
+            for (&s, &n) in col.iter().zip(&self.nscores) {
+                if usize::from(n) > k {
+                    stats.score_min[k] = stats.score_min[k].min(s);
+                    stats.score_max[k] = stats.score_max[k].max(s);
+                }
+            }
+        }
+        stats
+    }
+
+    /// Serializes the chunk as an `ADVTCHK1` payload (see module docs).
+    pub fn encode(&self) -> Vec<u8> {
+        let rows = self.len();
+        let mut out = Vec::with_capacity(HEADER_LEN + rows * ROW_BYTES);
+        out.extend_from_slice(CHUNK_MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(rows as u32).to_le_bytes());
+        for v in &self.tick {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.tenant {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.route {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.sample {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.scheme);
+        out.extend_from_slice(&self.degraded);
+        for v in &self.verdict {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.queue_ns {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.infer_ns {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.nscores);
+        for col in &self.scores {
+            for v in col {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a sealed payload, validating magic, version, row count,
+    /// exact length, and every scheme code.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason; the caller is responsible for quarantining
+    /// the source file.
+    // lint-ok(crate-error-types): the reason string is context for the caller, which wraps it in `TelemetryError::Corrupt` together with the source path the codec cannot know.
+    pub fn decode(payload: &[u8]) -> Result<Chunk, String> {
+        if payload.len() < HEADER_LEN {
+            return Err(format!(
+                "truncated chunk header: {} bytes, need {HEADER_LEN}",
+                payload.len()
+            ));
+        }
+        let (magic, rest) = payload.split_at(8);
+        if magic != CHUNK_MAGIC {
+            return Err("bad chunk magic".into());
+        }
+        let mut cur = Cursor::new(rest);
+        let version = cur.u32()?;
+        if version != VERSION {
+            return Err(format!("unsupported chunk version {version}"));
+        }
+        let rows = cur.u32()? as usize;
+        let expect = HEADER_LEN + rows * ROW_BYTES;
+        if payload.len() != expect {
+            return Err(format!(
+                "length mismatch: {rows} rows need {expect} bytes, file carries {}",
+                payload.len()
+            ));
+        }
+        let mut chunk = Chunk::with_capacity(rows);
+        chunk.tick = cur.u64_vec(rows)?;
+        chunk.tenant = cur.u32_vec(rows)?;
+        chunk.route = cur.u32_vec(rows)?;
+        chunk.sample = cur.u32_vec(rows)?;
+        chunk.scheme = cur.u8_vec(rows)?;
+        chunk.degraded = cur.u8_vec(rows)?;
+        chunk.verdict = cur.i32_vec(rows)?;
+        chunk.queue_ns = cur.u64_vec(rows)?;
+        chunk.infer_ns = cur.u64_vec(rows)?;
+        chunk.nscores = cur.u8_vec(rows)?;
+        for col in &mut chunk.scores {
+            *col = cur.f32_vec(rows)?;
+        }
+        if !cur.is_done() {
+            return Err("trailing bytes after columns".into());
+        }
+        for &code in &chunk.scheme {
+            if scheme_from_code(code).is_none() {
+                return Err(format!("unknown scheme code {code}"));
+            }
+        }
+        for &d in &chunk.degraded {
+            if d > 1 {
+                return Err(format!("non-boolean degraded byte {d}"));
+            }
+        }
+        Ok(chunk)
+    }
+}
+
+/// A bounds-checked little-endian reader over a byte slice.
+pub(crate) struct Cursor<'a> {
+    data: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Cursor<'a> {
+        Cursor { data, off: 0 }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.off == self.data.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let slice = self
+            .data
+            .get(self.off..self.off + n)
+            .ok_or_else(|| "unexpected end of data".to_string())?;
+        self.off += n;
+        Ok(slice)
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], String> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| "unexpected end of data".to_string())
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.array::<1>()?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.array()?))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.array()?))
+    }
+
+    pub(crate) fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.array()?))
+    }
+
+    fn u8_vec(&mut self, n: usize) -> Result<Vec<u8>, String> {
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn u32_vec(&mut self, n: usize) -> Result<Vec<u32>, String> {
+        self.take(n * 4).map(|s| {
+            s.chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect()
+        })
+    }
+
+    fn i32_vec(&mut self, n: usize) -> Result<Vec<i32>, String> {
+        self.take(n * 4).map(|s| {
+            s.chunks_exact(4)
+                .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect()
+        })
+    }
+
+    fn u64_vec(&mut self, n: usize) -> Result<Vec<u64>, String> {
+        self.take(n * 8).map(|s| {
+            s.chunks_exact(8)
+                .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+                .collect()
+        })
+    }
+
+    fn f32_vec(&mut self, n: usize) -> Result<Vec<f32>, String> {
+        self.take(n * 4).map(|s| {
+            s.chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adv_magnet::{DefenseScheme, Verdict};
+
+    pub(crate) fn sample_row(i: usize) -> TelemetryRow {
+        TelemetryRow::new(
+            1000 + i as u64 * 10,
+            (i % 3) as u32,
+            (i % 2) as u32,
+            i as u32,
+            DefenseScheme::ALL[i % 4],
+            i.is_multiple_of(5),
+            if i.is_multiple_of(4) {
+                Verdict::Detected
+            } else {
+                Verdict::Classified(i % 10)
+            },
+            50 + i as u64,
+            200 + i as u64,
+            &[i as f32 * 0.5, 1.0 / (i as f32 + 1.0), -0.25, 3.0],
+        )
+    }
+
+    fn filled(n: usize) -> Chunk {
+        let mut c = Chunk::with_capacity(n);
+        for i in 0..n {
+            c.push(&sample_row(i));
+        }
+        c
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for n in [0usize, 1, 7, 64] {
+            let chunk = filled(n);
+            let decoded = Chunk::decode(&chunk.encode()).unwrap();
+            assert_eq!(decoded.len(), n);
+            for i in 0..n {
+                assert_eq!(decoded.row(i).unwrap(), sample_row(i), "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_strict_prefix_and_extension_rejected() {
+        let bytes = filled(5).encode();
+        for cut in 0..bytes.len() {
+            assert!(Chunk::decode(&bytes[..cut]).is_err(), "prefix {cut}");
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(Chunk::decode(&long).is_err());
+    }
+
+    #[test]
+    fn bad_magic_version_and_scheme_rejected() {
+        let good = filled(3).encode();
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(Chunk::decode(&bad).unwrap_err().contains("magic"));
+        let mut bad = good.clone();
+        bad[8] = 7;
+        assert!(Chunk::decode(&bad).unwrap_err().contains("version"));
+        // Corrupt the first scheme byte to an unknown code.
+        let scheme_off = HEADER_LEN + 3 * (8 + 4 + 4 + 4);
+        let mut bad = good.clone();
+        bad[scheme_off] = 200;
+        assert!(Chunk::decode(&bad).unwrap_err().contains("scheme"));
+    }
+
+    #[test]
+    fn stats_cover_all_columns() {
+        let chunk = filled(20);
+        let s = chunk.stats();
+        assert_eq!(s.rows, 20);
+        assert_eq!(s.tick_min, 1000);
+        assert_eq!(s.tick_max, 1190);
+        assert_eq!((s.tenant_min, s.tenant_max), (0, 2));
+        assert_eq!((s.route_min, s.route_max), (0, 1));
+        assert_eq!(s.scheme_mask, 0b1111);
+        assert!(s.any_degraded && !s.all_degraded);
+        assert!(s.any_detected && !s.all_detected);
+        assert_eq!(s.score_min[0], 0.0);
+        assert_eq!(s.score_max[0], 19.0 * 0.5);
+        // Column 3 is constant.
+        assert_eq!((s.score_min[3], s.score_max[3]), (3.0, 3.0));
+    }
+
+    #[test]
+    fn stats_encode_roundtrip() {
+        let stats = filled(9).stats();
+        let mut buf = Vec::new();
+        stats.encode_into(&mut buf);
+        assert_eq!(buf.len(), STATS_BYTES);
+        assert_eq!(ChunkStats::decode(&buf).unwrap(), stats);
+        assert!(ChunkStats::decode(&buf[..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn rows_iterates_in_append_order() {
+        let chunk = filled(6);
+        let ticks: Vec<u64> = chunk.rows().map(|r| r.tick).collect();
+        assert_eq!(ticks, vec![1000, 1010, 1020, 1030, 1040, 1050]);
+    }
+}

@@ -1,0 +1,12 @@
+//! Thin adapter onto the `adv-obs` registry: one relaxed load when
+//! telemetry metrics are off, a counter bump when they are on.
+
+pub(crate) fn bump(name: &str) {
+    add(name, 1);
+}
+
+pub(crate) fn add(name: &str, n: u64) {
+    if adv_obs::metrics_enabled() {
+        adv_obs::global().counter(name).add(n);
+    }
+}

@@ -1,0 +1,196 @@
+//! Property test: pruned, chunked range queries are indistinguishable from
+//! a brute-force scan over every row ever recorded — for arbitrary row
+//! populations, tick ranges, and filters. Windowed drift aggregates must
+//! likewise agree with per-window brute-force recomputation.
+
+use adv_magnet::{DefenseScheme, Verdict};
+use adv_telemetry::{drift_windows, query, ChunkReader, ChunkStore, RowFilter, TelemetryRow};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique scratch dir per proptest case (cases run concurrently).
+fn scratch() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let id = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "adv_telemetry_query_prop_{}_{id}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[derive(Debug, Clone)]
+struct RawRow {
+    tick: u64,
+    tenant: u32,
+    route: u32,
+    scheme: u8,
+    degraded: bool,
+    detected: bool,
+    class: u8,
+    score: f32,
+}
+
+fn raw_row() -> impl Strategy<Value = RawRow> {
+    (
+        0u64..1000,
+        0u32..4,
+        0u32..3,
+        0u8..4,
+        any::<bool>(),
+        any::<bool>(),
+        0u8..10,
+        0.0f32..100.0,
+    )
+        .prop_map(
+            |(tick, tenant, route, scheme, degraded, detected, class, score)| RawRow {
+                tick,
+                tenant,
+                route,
+                scheme,
+                degraded,
+                detected,
+                class,
+                score,
+            },
+        )
+}
+
+fn materialize(raw: &[RawRow]) -> Vec<TelemetryRow> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, r)| {
+            TelemetryRow::new(
+                r.tick,
+                r.tenant,
+                r.route,
+                i as u32,
+                DefenseScheme::ALL[usize::from(r.scheme)],
+                r.degraded,
+                if r.detected {
+                    Verdict::Detected
+                } else {
+                    Verdict::Classified(usize::from(r.class))
+                },
+                1,
+                2,
+                &[r.score, 100.0 - r.score],
+            )
+        })
+        .collect()
+}
+
+fn filter_from(
+    tenant: Option<u32>,
+    scheme: Option<u8>,
+    degraded: Option<bool>,
+    detected: Option<bool>,
+) -> RowFilter {
+    RowFilter {
+        tenant,
+        route: None,
+        scheme: scheme.map(|s| DefenseScheme::ALL[usize::from(s)]),
+        degraded,
+        detected,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn range_query_equals_brute_force_scan(
+        raw in proptest::collection::vec(raw_row(), 0..120),
+        chunk_rows in 1usize..24,
+        t0 in 0u64..1100,
+        span in 0u64..1100,
+        tenant in proptest::option::of(0u32..5),
+        scheme in proptest::option::of(0u8..4),
+        degraded in proptest::option::of(any::<bool>()),
+        detected in proptest::option::of(any::<bool>()),
+    ) {
+        let dir = scratch();
+        let rows = materialize(&raw);
+        let mut store = ChunkStore::open(&dir, chunk_rows).unwrap();
+        for row in &rows {
+            store.append(row).unwrap();
+        }
+        store.flush().unwrap();
+        drop(store);
+
+        let range = t0..t0.saturating_add(span);
+        let filter = filter_from(tenant, scheme, degraded, detected);
+        let reader = ChunkReader::open(&dir).unwrap();
+        let result = query(&reader, range.clone(), &filter).unwrap();
+
+        let expected: Vec<TelemetryRow> = rows
+            .iter()
+            .filter(|r| range.contains(&r.tick) && filter.matches(r))
+            .copied()
+            .collect();
+        prop_assert_eq!(&result.rows, &expected, "query != brute-force scan");
+        prop_assert_eq!(result.chunks_rejected, 0);
+        // Pruning must never hide a scanned chunk: pruned + scanned covers
+        // the whole manifest.
+        prop_assert_eq!(
+            result.chunks_pruned + result.chunks_scanned,
+            reader.entries().len()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drift_windows_equal_per_window_brute_force(
+        raw in proptest::collection::vec(raw_row(), 1..100),
+        chunk_rows in 1usize..16,
+        windows in 1usize..9,
+    ) {
+        let dir = scratch();
+        let rows = materialize(&raw);
+        let mut store = ChunkStore::open(&dir, chunk_rows).unwrap();
+        for row in &rows {
+            store.append(row).unwrap();
+        }
+        store.flush().unwrap();
+        drop(store);
+
+        let range = 0u64..1000;
+        let filter = RowFilter::default();
+        let reader = ChunkReader::open(&dir).unwrap();
+        let agg = drift_windows(&reader, range.clone(), windows, &filter).unwrap();
+        prop_assert_eq!(agg.len(), windows);
+
+        let width = 1000u64.div_ceil(windows as u64);
+        for (w, window) in agg.iter().enumerate() {
+            let in_window = |r: &&TelemetryRow| {
+                range.contains(&r.tick) && (r.tick / width) as usize == w
+            };
+            let expect_rows = rows.iter().filter(in_window).count() as u64;
+            let expect_detected = rows
+                .iter()
+                .filter(in_window)
+                .filter(|r| r.verdict == Verdict::Detected)
+                .count() as u64;
+            let expect_degraded =
+                rows.iter().filter(in_window).filter(|r| r.degraded).count() as u64;
+            prop_assert_eq!(window.rows, expect_rows, "window {} rows", w);
+            prop_assert_eq!(window.detected, expect_detected, "window {} detected", w);
+            prop_assert_eq!(window.degraded, expect_degraded, "window {} degraded", w);
+            // Sketch totals track the rows (two live scores per row).
+            prop_assert_eq!(window.sketches[0].count(), expect_rows);
+            prop_assert_eq!(window.sketches[1].count(), expect_rows);
+            prop_assert_eq!(window.sketches[2].count(), 0);
+            // Quantiles stay inside the observed score range.
+            if let (Some(q50), Some(lo), Some(hi)) = (
+                window.sketches[0].quantile(0.5),
+                window.sketches[0].observed_min(),
+                window.sketches[0].observed_max(),
+            ) {
+                prop_assert!(q50 >= lo && q50 <= hi);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -66,6 +66,29 @@ pub mod strategy {
     }
     impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9);
+    }
+
     /// Strategy yielding a constant value (`proptest::strategy::Just`).
     #[derive(Debug, Clone)]
     pub struct Just<T: Clone>(pub T);
@@ -140,6 +163,37 @@ pub mod collection {
     /// comes from `len` (a fixed `usize` or a `Range<usize>`).
     pub fn vec<S: Strategy, L: VecLen>(element: S, len: L) -> VecStrategy<S, L> {
         VecStrategy { element, len }
+    }
+}
+
+pub mod option {
+    //! Optional-value strategies (`proptest::option`).
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy returned by [`of`]: `None` about a quarter of the time,
+    /// otherwise `Some` of the inner strategy's value (upstream's default
+    /// `Some` probability is 0.75).
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen::<f64>() < 0.75 {
+                Some(self.0.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Wraps `inner` to generate `Option`s (`proptest::option::of`).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
     }
 }
 
@@ -278,6 +332,22 @@ mod tests {
         #[test]
         fn prop_map_applies(v in unit_vec(3).prop_map(|v| v.len())) {
             prop_assert_eq!(v, 3);
+        }
+
+        #[test]
+        fn tuple_strategies_sample_componentwise(
+            pair in (0u8..4, 10u32..20).prop_map(|(a, b)| (a, b)),
+        ) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((10..20).contains(&pair.1));
+        }
+
+        #[test]
+        fn option_of_yields_both_variants(v in crate::collection::vec(crate::option::of(0u8..3), 64)) {
+            prop_assert!(v.iter().flatten().all(|&x| x < 3));
+            // With 64 draws at P(Some)=0.75, both variants appear w.h.p.
+            prop_assert!(v.iter().any(|x| x.is_some()));
+            prop_assert!(v.iter().any(|x| x.is_none()));
         }
     }
 
