@@ -11,6 +11,17 @@
 //! plus a self-time/total-time summary table printed to stderr, with each
 //! span's share of the session's wall-clock.
 //!
+//! When the kernel profiler is on too (`ADV_PROFILE=1` or
+//! [`adv_profile::set_enabled`]), two more artifacts join them:
+//!
+//! * `profile_kernels.txt` — the per-kernel accounting table
+//!   (calls/wall/self/GFLOP/s);
+//! * `profile_collapsed.folded` — collapsed stacks in flamegraph folded
+//!   format (`frame;frame self_ns`);
+//!
+//! and the kernel totals are published into the global registry as gauges
+//! before the snapshot is taken, so `metrics.json` carries them as well.
+//!
 //! An explicit `ADV_OBS=off|metrics|trace` environment override wins over
 //! the flag, so a run can keep `--obs out/` in its command line while
 //! telemetry is dialed down externally.
@@ -53,8 +64,9 @@ impl ObsSession {
     }
 
     /// Writes `metrics.json`, `metrics.prom` and `trace.jsonl` into the
-    /// session directory, prints the span summary table to stderr, and
-    /// returns the written paths.
+    /// session directory (plus `profile_kernels.txt` and
+    /// `profile_collapsed.folded` when [`adv_profile::enabled`]), prints
+    /// the span summary table to stderr, and returns the written paths.
     ///
     /// # Errors
     ///
@@ -64,8 +76,13 @@ impl ObsSession {
         let wall = self.started.elapsed();
         adv_obs::trace::flush_current_thread();
         std::fs::create_dir_all(&self.dir)?;
+        let profiled = adv_profile::enabled();
+        if profiled {
+            adv_profile::flush_current_thread();
+            adv_profile::publish_to(adv_obs::global());
+        }
         let snapshot = adv_obs::global().snapshot();
-        let mut written = Vec::with_capacity(3);
+        let mut written = Vec::with_capacity(5);
         for (name, content) in [
             ("metrics.json", snapshot.to_json()),
             ("metrics.prom", snapshot.to_prometheus()),
@@ -78,6 +95,16 @@ impl ObsSession {
         let path = self.dir.join("trace.jsonl");
         std::fs::write(&path, adv_obs::trace::events_to_jsonl(&events))?;
         written.push(path);
+        if profiled {
+            for (name, content) in [
+                ("profile_kernels.txt", adv_profile::kernel_table()),
+                ("profile_collapsed.folded", adv_profile::collapsed()),
+            ] {
+                let path = self.dir.join(name);
+                std::fs::write(&path, content)?;
+                written.push(path);
+            }
+        }
         if !summaries.is_empty() {
             eprintln!("\n{}", adv_obs::trace::render_summary(&summaries, wall));
         }
@@ -94,6 +121,13 @@ impl ObsSession {
 mod tests {
     use super::*;
 
+    /// Both `finish` tests toggle the process-wide profiler flag, so they
+    /// serialize on this lock.
+    fn profile_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn from_args_requires_the_flag() {
         let args = CliArgs::parse(std::iter::empty()).unwrap();
@@ -104,6 +138,8 @@ mod tests {
     fn finish_writes_all_artifacts() {
         // Level-changing test: other adv-eval tests don't toggle the level,
         // and this one only raises it for its own duration.
+        let _serial = profile_lock();
+        adv_profile::set_enabled(false);
         let before = adv_obs::level();
         let dir = std::env::temp_dir().join(format!("adv_obs_session_{}", std::process::id()));
         let session = ObsSession::start(&dir);
@@ -119,6 +155,32 @@ mod tests {
         assert!(json.contains("test.obs_session"));
         let trace = std::fs::read_to_string(dir.join("trace.jsonl")).unwrap();
         assert!(trace.contains("test/obs_session"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn finish_adds_profile_artifacts_when_profiling() {
+        let _serial = profile_lock();
+        let before = adv_obs::level();
+        let dir = std::env::temp_dir().join(format!("adv_obs_session_prof_{}", std::process::id()));
+        let session = ObsSession::start(&dir);
+        adv_profile::set_enabled(true);
+        adv_profile::reset();
+        {
+            let _k = adv_profile::KernelScope::enter(adv_profile::KernelKind::MatMul, || {
+                adv_profile::Work::matmul(4, 4, 4)
+            });
+        }
+        let written = session.finish().unwrap();
+        adv_profile::set_enabled(false);
+        adv_obs::set_level(before);
+        assert_eq!(written.len(), 5);
+        let table = std::fs::read_to_string(dir.join("profile_kernels.txt")).unwrap();
+        assert!(table.contains("matmul"), "{table}");
+        let folded = std::fs::read_to_string(dir.join("profile_collapsed.folded")).unwrap();
+        assert!(folded.contains("matmul"), "{folded}");
+        let json = std::fs::read_to_string(dir.join("metrics.json")).unwrap();
+        assert!(json.contains("profile.kernel.matmul.calls"), "{json}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -109,6 +109,7 @@ impl LintConfig {
                 "adv-lint",
                 "adv-store",
                 "adv-telemetry",
+                "adv-profile",
             ]),
             index_check_crates: s(&["adv-serve", "adv-obs", "adv-chaos"]),
             clock_crates: s(&[
@@ -123,6 +124,7 @@ impl LintConfig {
                 "adv-lint",
                 "adv-store",
                 "adv-telemetry",
+                "adv-profile",
             ]),
         }
     }

@@ -4,6 +4,7 @@ use crate::fused::InferenceCache;
 use crate::Result;
 use adv_nn::Sequential;
 use adv_obs::Span;
+use adv_profile::StageScope;
 use adv_tensor::Tensor;
 use std::time::Duration;
 
@@ -300,6 +301,7 @@ impl MagnetDefense {
         let detected = match scheme {
             DefenseScheme::DetectorOnly | DefenseScheme::Full => {
                 let _span = Span::enter("magnet/detect");
+                let _stage = StageScope::enter("magnet/detect");
                 let d = self.detect(x)?;
                 timings.detect = t0.elapsed();
                 d
@@ -313,6 +315,7 @@ impl MagnetDefense {
         let input = match scheme {
             DefenseScheme::ReformerOnly | DefenseScheme::Full => {
                 let _span = Span::enter("magnet/reform");
+                let _stage = StageScope::enter("magnet/reform");
                 let r = self.reform(x)?;
                 timings.reform = t1.elapsed();
                 r
@@ -325,6 +328,7 @@ impl MagnetDefense {
         let t2 = std::time::Instant::now();
         let preds = {
             let _span = Span::enter("magnet/classify");
+            let _stage = StageScope::enter("magnet/classify");
             self.classifier.predict_shared(&input)?
         };
         timings.classify = t2.elapsed();
@@ -395,6 +399,7 @@ impl MagnetDefense {
         let detected = match scheme {
             DefenseScheme::DetectorOnly | DefenseScheme::Full => {
                 let _span = Span::enter("magnet/detect");
+                let _stage = StageScope::enter("magnet/detect");
                 let mut combined = vec![false; n];
                 for det in &self.detectors {
                     // Inline of Detector::flags_fused, keeping the scores:
@@ -424,6 +429,7 @@ impl MagnetDefense {
         let input = match scheme {
             DefenseScheme::ReformerOnly | DefenseScheme::Full => {
                 let _span = Span::enter("magnet/reform");
+                let _stage = StageScope::enter("magnet/reform");
                 let r = cache.reconstruction(&self.reformer, x)?;
                 timings.reform = t1.elapsed();
                 r
@@ -436,6 +442,7 @@ impl MagnetDefense {
         let t2 = std::time::Instant::now();
         let preds = {
             let _span = Span::enter("magnet/classify");
+            let _stage = StageScope::enter("magnet/classify");
             let logits = cache.logits(&self.classifier, &input)?;
             logits.argmax_rows()?
         };

@@ -58,6 +58,10 @@ pub fn jsd_rows(p: &[f32], q: &[f32], k: usize) -> Result<Vec<f32>> {
             q.len()
         )));
     }
+    let _prof = adv_profile::KernelScope::enter(adv_profile::KernelKind::Jsd, || {
+        // ~3 flops per element per KL pass, two passes plus the mixture.
+        adv_profile::Work::custom(p.len() as u64, 9 * p.len() as u64, 8 * p.len() as u64)
+    });
     p.chunks_exact(k)
         .zip(q.chunks_exact(k))
         .map(|(pr, qr)| jsd(pr, qr))

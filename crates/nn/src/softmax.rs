@@ -5,6 +5,7 @@
 //! auto-encoded reconstruction.
 
 use crate::{NnError, Result};
+use adv_profile::{KernelKind, KernelScope, Work};
 use adv_tensor::{Shape, Tensor};
 
 /// Row-wise softmax of a `[batch, classes]` logit matrix.
@@ -41,6 +42,7 @@ pub fn softmax_rows_with_temperature(logits: &Tensor, temperature: f32) -> Resul
         )));
     }
     let (n, k) = (logits.shape().dim(0), logits.shape().dim(1));
+    let _prof = KernelScope::enter(KernelKind::Softmax, || Work::softmax(n, k));
     let mut out = vec![0.0f32; n * k];
     for (row_in, row_out) in logits
         .as_slice()
@@ -74,6 +76,7 @@ pub fn log_softmax_rows(logits: &Tensor) -> Result<Tensor> {
         }));
     }
     let (n, k) = (logits.shape().dim(0), logits.shape().dim(1));
+    let _prof = KernelScope::enter(KernelKind::LogSoftmax, || Work::softmax(n, k));
     let mut out = vec![0.0f32; n * k];
     for (row_in, row_out) in logits
         .as_slice()

@@ -125,15 +125,32 @@ pub fn set_level(level: ObsLevel) {
 }
 
 /// `true` when counters/gauges/histograms should record.
+///
+/// Compares the cached level byte directly — one relaxed load and one
+/// branch on the off path, no decode — so the gate costs the same whether
+/// or not it is taken (the `obs_overhead` bench pins this).
 #[inline]
 pub fn metrics_enabled() -> bool {
-    level() >= ObsLevel::Metrics
+    // lint-ok(ordering-justified): a momentarily stale level only delays
+    // when instrumentation switches on/off; no data is guarded by it.
+    match LEVEL.load(Ordering::Relaxed) {
+        LEVEL_UNSET => init_level_from_env() >= ObsLevel::Metrics,
+        v => v >= ObsLevel::Metrics as u8,
+    }
 }
 
 /// `true` when spans should record events.
+///
+/// Same single-byte fast path as [`metrics_enabled`]: the common
+/// span-off case is one relaxed load and one equality compare.
 #[inline]
 pub fn trace_enabled() -> bool {
-    level() >= ObsLevel::Trace
+    // lint-ok(ordering-justified): a momentarily stale level only delays
+    // when instrumentation switches on/off; no data is guarded by it.
+    match LEVEL.load(Ordering::Relaxed) {
+        LEVEL_UNSET => init_level_from_env() >= ObsLevel::Trace,
+        v => v == ObsLevel::Trace as u8,
+    }
 }
 
 /// The process-wide registry shared by all instrumented crates.

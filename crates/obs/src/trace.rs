@@ -163,22 +163,31 @@ impl Span {
         if !crate::trace_enabled() {
             return SpanGuard { active: false };
         }
-        let entered = THREAD_BUF
-            .try_with(|buf| {
-                let mut buf = buf.borrow_mut();
-                // Force the epoch before the first span so offsets are valid.
-                let _ = epoch();
-                buf.stack.push(Frame {
-                    name,
-                    // lint-ok(gated-clocks): behind the trace_enabled()
-                    // early return above; span timing IS the feature here.
-                    start: Instant::now(),
-                    child_ns: 0,
-                });
-            })
-            .is_ok();
-        SpanGuard { active: entered }
+        enter_slow(name)
     }
+}
+
+/// The tracing-on path of [`Span::enter`], outlined so the disabled fast
+/// path inlines to a load-and-branch without dragging the thread-local
+/// access into every instrumented function.
+#[cold]
+#[inline(never)]
+fn enter_slow(name: &'static str) -> SpanGuard {
+    let entered = THREAD_BUF
+        .try_with(|buf| {
+            let mut buf = buf.borrow_mut();
+            // Force the epoch before the first span so offsets are valid.
+            let _ = epoch();
+            buf.stack.push(Frame {
+                name,
+                // lint-ok(gated-clocks): reached only via Span::enter's
+                // trace_enabled() early return; span timing IS the feature.
+                start: Instant::now(),
+                child_ns: 0,
+            });
+        })
+        .is_ok();
+    SpanGuard { active: entered }
 }
 
 /// RAII guard closing a [`Span`]; records the event on drop.

@@ -1,0 +1,621 @@
+//! Kernel accounting: RAII scopes around hot kernels, aggregated into
+//! process-wide per-kernel slots and a collapsed-stack profile.
+//!
+//! [`KernelScope::enter`] pushes a frame on the current thread's profile
+//! stack; dropping the guard attributes the frame's *self time* (total
+//! minus time inside child scopes) to its [`KernelKind`] slot and to the
+//! collapsed call-path, and — when a trace is active on the thread (see
+//! [`crate::trace::record_into`]) — appends a [`TraceSpan`] for the causal
+//! request trace. [`StageScope`] is the same machinery for non-kernel
+//! frames (defense stages, batch formation): they shape the collapsed
+//! stacks and traces but do not own a kernel slot.
+//!
+//! Aggregation is drop-not-block: per-kind counters are plain relaxed
+//! atomics (never contended on a lock), while collapsed stacks and trace
+//! spans buffer per-thread and merge into global sinks under `try_lock` —
+//! a contended flush retries later and, past a hard cap, drops (and
+//! counts) rather than stalls the worker.
+
+use crate::trace::TraceSpan;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// The fixed set of accounted kernels. Each variant owns one process-wide
+/// accumulator slot, so recording is branch-free fetch-adds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum KernelKind {
+    /// `C = A·B` dense matmul.
+    MatMul = 0,
+    /// `C = Aᵀ·B` (weight-gradient product).
+    MatMulAtB = 1,
+    /// `C = A·Bᵀ` (input-gradient product, conv forward inner product).
+    MatMulABt = 2,
+    /// Convolution patch extraction.
+    Im2col = 3,
+    /// Patch scatter-accumulate (conv backward).
+    Col2im = 4,
+    /// Full conv2d forward (contains im2col + matmul children).
+    Conv2d = 5,
+    /// Full conv2d backward.
+    Conv2dBackward = 6,
+    /// Row-wise softmax (with or without temperature).
+    Softmax = 7,
+    /// Row-wise log-softmax.
+    LogSoftmax = 8,
+    /// Pointwise map/zip kernels (add, mul, activations, clamp, …).
+    Elementwise = 9,
+    /// Reductions (sum, mean, min/max, argmax, dot, norms).
+    Reduction = 10,
+    /// Pure data movement (stack, concat, slice extraction).
+    Memcpy = 11,
+    /// Per-item reconstruction-error distances (MagNet detectors).
+    DetectorDistance = 12,
+    /// Jensen–Shannon divergence rows (JSD detectors).
+    Jsd = 13,
+}
+
+/// Number of kernel kinds ([`KernelKind::ALL`]'s length).
+pub const KERNEL_KINDS: usize = 14;
+
+impl KernelKind {
+    /// Every kind, in slot order.
+    pub const ALL: [KernelKind; KERNEL_KINDS] = [
+        KernelKind::MatMul,
+        KernelKind::MatMulAtB,
+        KernelKind::MatMulABt,
+        KernelKind::Im2col,
+        KernelKind::Col2im,
+        KernelKind::Conv2d,
+        KernelKind::Conv2dBackward,
+        KernelKind::Softmax,
+        KernelKind::LogSoftmax,
+        KernelKind::Elementwise,
+        KernelKind::Reduction,
+        KernelKind::Memcpy,
+        KernelKind::DetectorDistance,
+        KernelKind::Jsd,
+    ];
+
+    /// Stable display name (also the collapsed-stack frame name).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::MatMul => "matmul",
+            KernelKind::MatMulAtB => "matmul_at_b",
+            KernelKind::MatMulABt => "matmul_a_bt",
+            KernelKind::Im2col => "im2col",
+            KernelKind::Col2im => "col2im",
+            KernelKind::Conv2d => "conv2d",
+            KernelKind::Conv2dBackward => "conv2d_backward",
+            KernelKind::Softmax => "softmax",
+            KernelKind::LogSoftmax => "log_softmax",
+            KernelKind::Elementwise => "elementwise",
+            KernelKind::Reduction => "reduction",
+            KernelKind::Memcpy => "memcpy",
+            KernelKind::DetectorDistance => "detector_distance",
+            KernelKind::Jsd => "jsd",
+        }
+    }
+}
+
+/// The arithmetic/data volume one kernel invocation declares, from which
+/// the report derives achieved GFLOP/s and GB/s. Constructors encode the
+/// standard cost models so call sites stay one-liners.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Work {
+    /// Output elements produced.
+    pub elems: u64,
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Bytes read plus written (useful-traffic model, not cache traffic).
+    pub bytes: u64,
+}
+
+impl Work {
+    /// Explicit volumes for kernels without a stock cost model.
+    pub fn custom(elems: u64, flops: u64, bytes: u64) -> Work {
+        Work {
+            elems,
+            flops,
+            bytes,
+        }
+    }
+
+    /// `[m,k]·[k,n]`: `2mkn` FLOPs, reads A and B once, writes C.
+    pub fn matmul(m: usize, k: usize, n: usize) -> Work {
+        let (m, k, n) = (m as u64, k as u64, n as u64);
+        Work {
+            elems: m * n,
+            flops: 2 * m * k * n,
+            bytes: 4 * (m * k + k * n + m * n),
+        }
+    }
+
+    /// Unary pointwise kernel over `n` elements (1 FLOP, read + write).
+    pub fn map(n: usize) -> Work {
+        Work {
+            elems: n as u64,
+            flops: n as u64,
+            bytes: 8 * n as u64,
+        }
+    }
+
+    /// Binary pointwise kernel over `n` elements (1 FLOP, 2 reads + write).
+    pub fn zip(n: usize) -> Work {
+        Work {
+            elems: n as u64,
+            flops: n as u64,
+            bytes: 12 * n as u64,
+        }
+    }
+
+    /// Reduction of `n` elements to a scalar-ish result.
+    pub fn reduce(n: usize) -> Work {
+        Work {
+            elems: n as u64,
+            flops: n as u64,
+            bytes: 4 * n as u64,
+        }
+    }
+
+    /// Pure copy of `n` elements (no FLOPs, read + write).
+    pub fn copy(n: usize) -> Work {
+        Work {
+            elems: n as u64,
+            flops: 0,
+            bytes: 8 * n as u64,
+        }
+    }
+
+    /// Row-wise softmax: max, subtract+exp, sum, divide ≈ 4 FLOPs/element.
+    pub fn softmax(rows: usize, cols: usize) -> Work {
+        let n = (rows * cols) as u64;
+        Work {
+            elems: n,
+            flops: 4 * n,
+            bytes: 8 * n,
+        }
+    }
+}
+
+/// One process-wide accumulator; every field is an independent relaxed
+/// counter (snapshot readers tolerate torn cross-field reads).
+#[derive(Debug, Default)]
+pub(crate) struct KindSlot {
+    pub(crate) calls: AtomicU64,
+    pub(crate) wall_ns: AtomicU64,
+    pub(crate) self_ns: AtomicU64,
+    pub(crate) elems: AtomicU64,
+    pub(crate) flops: AtomicU64,
+    pub(crate) bytes: AtomicU64,
+}
+
+pub(crate) fn slots() -> &'static [KindSlot] {
+    static SLOTS: OnceLock<Vec<KindSlot>> = OnceLock::new();
+    SLOTS.get_or_init(|| (0..KERNEL_KINDS).map(|_| KindSlot::default()).collect())
+}
+
+/// The global collapsed-stack profile: call path → accumulated self ns.
+pub(crate) struct StackSink {
+    pub(crate) stacks: Mutex<HashMap<Box<[&'static str]>, u64>>,
+    pub(crate) dropped: AtomicU64,
+}
+
+pub(crate) fn stack_sink() -> &'static StackSink {
+    static SINK: OnceLock<StackSink> = OnceLock::new();
+    SINK.get_or_init(|| StackSink {
+        stacks: Mutex::new(HashMap::new()),
+        dropped: AtomicU64::new(0),
+    })
+}
+
+/// The instant all trace-span offsets are measured from (first use wins).
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    // lint-ok(gated-clocks): reached only from frame entry/exit, both
+    // behind the enabled() gate; profiling timestamps are the feature.
+    *EPOCH.get_or_init(Instant::now)
+}
+
+struct Frame {
+    name: &'static str,
+    kind: Option<KernelKind>,
+    start: Instant,
+    child_ns: u64,
+    work: Work,
+}
+
+/// Local stack entries a thread accumulates before flushing to the sink.
+const STACK_FLUSH_THRESHOLD: usize = 128;
+/// Hard cap on a thread's local stack map under sink contention; beyond
+/// it, entries are dropped (and counted) instead of growing unboundedly.
+const STACK_LOCAL_CAP: usize = 4096;
+/// Pending trace spans a thread buffers before flushing.
+const SPAN_FLUSH_THRESHOLD: usize = 512;
+
+struct ThreadProf {
+    frames: Vec<Frame>,
+    /// Scratch key for collapsed-stack lookups (avoids an alloc per drop).
+    path: Vec<&'static str>,
+    stacks: HashMap<Box<[&'static str]>, u64>,
+    spans: Vec<TraceSpan>,
+    /// Trace id scope drops record spans into (0 = none active).
+    trace: u64,
+}
+
+impl ThreadProf {
+    fn new() -> ThreadProf {
+        ThreadProf {
+            frames: Vec::new(),
+            path: Vec::new(),
+            stacks: HashMap::new(),
+            spans: Vec::new(),
+            trace: 0,
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.stacks.is_empty() {
+            let sink = stack_sink();
+            match sink.stacks.try_lock() {
+                Ok(mut global) => {
+                    for (path, ns) in self.stacks.drain() {
+                        *global.entry(path).or_insert(0) += ns;
+                    }
+                }
+                Err(_) => {
+                    if self.stacks.len() > STACK_LOCAL_CAP {
+                        // Drop-not-block: a worker never stalls on the
+                        // profile sink; losses are visible in `dropped`.
+                        // lint-ok(ordering-justified): independent overflow
+                        // counter; readers only report it.
+                        sink.dropped
+                            .fetch_add(self.stacks.len() as u64, Ordering::Relaxed);
+                        self.stacks.clear();
+                    }
+                }
+            }
+        }
+        if !self.spans.is_empty() {
+            crate::trace::flush_spans(&mut self.spans);
+        }
+    }
+}
+
+impl Drop for ThreadProf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static THREAD_PROF: RefCell<ThreadProf> = RefCell::new(ThreadProf::new());
+}
+
+/// Pushes a frame; returns `false` when the thread-local is unavailable
+/// (thread teardown) so the guard stays inert.
+#[inline(never)]
+fn enter_frame(name: &'static str, kind: Option<KernelKind>, work: Work) -> bool {
+    THREAD_PROF
+        .try_with(|tp| {
+            let mut tp = tp.borrow_mut();
+            // Force the epoch before the first frame so offsets are valid.
+            let _ = epoch();
+            tp.frames.push(Frame {
+                name,
+                kind,
+                // lint-ok(gated-clocks): behind the enabled() gate at every
+                // scope entry; kernel timing IS the feature here.
+                start: Instant::now(),
+                child_ns: 0,
+                work,
+            });
+        })
+        .is_ok()
+}
+
+#[inline(never)]
+fn exit_frame() {
+    let _ = THREAD_PROF.try_with(|tp| {
+        let mut tp = tp.borrow_mut();
+        let Some(frame) = tp.frames.pop() else {
+            return;
+        };
+        let total_ns = frame.start.elapsed().as_nanos() as u64;
+        let self_ns = total_ns.saturating_sub(frame.child_ns);
+        if let Some(parent) = tp.frames.last_mut() {
+            parent.child_ns = parent.child_ns.saturating_add(total_ns);
+        }
+
+        // Six independent monotone counters: snapshot readers tolerate any
+        // interleaving and no other memory is published through them, so
+        // every fetch_add below is free to be Relaxed.
+        if let Some(kind) = frame.kind {
+            if let Some(slot) = slots().get(kind as usize) {
+                slot.calls.fetch_add(1, Ordering::Relaxed); // lint-ok(ordering-justified): independent monotone counter, see block comment
+                slot.wall_ns.fetch_add(total_ns, Ordering::Relaxed); // lint-ok(ordering-justified): independent monotone counter, see block comment
+                slot.self_ns.fetch_add(self_ns, Ordering::Relaxed); // lint-ok(ordering-justified): independent monotone counter, see block comment
+                slot.elems.fetch_add(frame.work.elems, Ordering::Relaxed); // lint-ok(ordering-justified): independent monotone counter, see block comment
+                slot.flops.fetch_add(frame.work.flops, Ordering::Relaxed); // lint-ok(ordering-justified): independent monotone counter, see block comment
+                slot.bytes.fetch_add(frame.work.bytes, Ordering::Relaxed); // lint-ok(ordering-justified): independent monotone counter, see block comment
+            }
+        }
+
+        // Collapsed stack: ancestors still on the stack, then this frame.
+        let ThreadProf {
+            frames,
+            path,
+            stacks,
+            ..
+        } = &mut *tp;
+        path.clear();
+        path.extend(frames.iter().map(|f| f.name));
+        path.push(frame.name);
+        match stacks.get_mut(path.as_slice()) {
+            Some(ns) => *ns = ns.saturating_add(self_ns),
+            None => {
+                stacks.insert(path.clone().into_boxed_slice(), self_ns);
+            }
+        }
+
+        if tp.trace != 0 {
+            let start_ns = frame.start.duration_since(epoch()).as_nanos() as u64;
+            let span = TraceSpan {
+                trace: tp.trace,
+                name: frame.name,
+                depth: tp.frames.len() as u16,
+                start_ns,
+                dur_ns: total_ns,
+            };
+            tp.spans.push(span);
+        }
+
+        if tp.spans.len() >= SPAN_FLUSH_THRESHOLD
+            || (tp.frames.is_empty() && tp.stacks.len() >= STACK_FLUSH_THRESHOLD)
+        {
+            tp.flush();
+        }
+    });
+}
+
+/// Sets the calling thread's active trace id, returning the previous one.
+pub(crate) fn swap_thread_trace(trace: u64) -> u64 {
+    THREAD_PROF
+        .try_with(|tp| {
+            let mut tp = tp.borrow_mut();
+            std::mem::replace(&mut tp.trace, trace)
+        })
+        .unwrap_or(0)
+}
+
+/// Buffers one explicit span (e.g. a queue-wait event) on the thread.
+pub(crate) fn push_span(span: TraceSpan) {
+    let _ = THREAD_PROF.try_with(|tp| {
+        let mut tp = tp.borrow_mut();
+        tp.spans.push(span);
+        if tp.spans.len() >= SPAN_FLUSH_THRESHOLD {
+            tp.flush();
+        }
+    });
+}
+
+/// Flushes the calling thread's buffered stacks and spans into the global
+/// sinks. Threads flush automatically at buffer thresholds, whenever the
+/// frame stack unwinds to empty with enough pending entries, and on
+/// thread exit; call this before reading a report on the thread that did
+/// the work (e.g. `main`).
+pub fn flush_current_thread() {
+    let _ = THREAD_PROF.try_with(|tp| tp.borrow_mut().flush());
+}
+
+/// Clears the kernel slots and the collapsed-stack sink (tests/probes).
+pub(crate) fn reset_kernels() {
+    // Test/probe-only reset of independent counters; no ordering
+    // relationship is required for any of the stores below.
+    for slot in slots() {
+        slot.calls.store(0, Ordering::Relaxed); // lint-ok(ordering-justified): reset of independent counter, see loop comment
+        slot.wall_ns.store(0, Ordering::Relaxed); // lint-ok(ordering-justified): reset of independent counter, see loop comment
+        slot.self_ns.store(0, Ordering::Relaxed); // lint-ok(ordering-justified): reset of independent counter, see loop comment
+        slot.elems.store(0, Ordering::Relaxed); // lint-ok(ordering-justified): reset of independent counter, see loop comment
+        slot.flops.store(0, Ordering::Relaxed); // lint-ok(ordering-justified): reset of independent counter, see loop comment
+        slot.bytes.store(0, Ordering::Relaxed); // lint-ok(ordering-justified): reset of independent counter, see loop comment
+    }
+    let sink = stack_sink();
+    if let Ok(mut stacks) = sink.stacks.lock() {
+        stacks.clear();
+    }
+    // lint-ok(ordering-justified): see above — reset of an independent
+    // counter.
+    sink.dropped.store(0, Ordering::Relaxed);
+}
+
+/// Entries dropped because the stack sink stayed contended past the
+/// local-buffer cap.
+pub fn dropped_stacks() -> u64 {
+    // lint-ok(ordering-justified): reporting-only read of an independent
+    // counter; staleness is fine.
+    stack_sink().dropped.load(Ordering::Relaxed)
+}
+
+/// RAII guard accounting one kernel invocation; see the module docs.
+///
+/// The `work` closure is evaluated only when profiling is enabled, so the
+/// disabled path never computes volumes:
+///
+/// ```
+/// use adv_profile::{KernelKind, KernelScope, Work};
+/// let _scope = KernelScope::enter(KernelKind::MatMul, || Work::matmul(8, 8, 8));
+/// // ... run the kernel ...
+/// ```
+#[derive(Debug)]
+#[must_use = "the kernel is accounted when the guard is dropped"]
+pub struct KernelScope {
+    active: bool,
+}
+
+impl KernelScope {
+    /// Opens a kernel scope; a no-op (one relaxed load) while profiling is
+    /// off.
+    #[inline]
+    pub fn enter(kind: KernelKind, work: impl FnOnce() -> Work) -> KernelScope {
+        if !crate::enabled() {
+            return KernelScope { active: false };
+        }
+        KernelScope {
+            active: enter_frame(kind.name(), Some(kind), work()),
+        }
+    }
+}
+
+impl Drop for KernelScope {
+    fn drop(&mut self) {
+        if self.active {
+            exit_frame();
+        }
+    }
+}
+
+/// RAII guard for a non-kernel frame (defense stage, batch formation):
+/// contributes to collapsed stacks and traces, owns no kernel slot.
+#[derive(Debug)]
+#[must_use = "the stage ends when the guard is dropped"]
+pub struct StageScope {
+    active: bool,
+}
+
+impl StageScope {
+    /// Opens a stage frame; a no-op (one relaxed load) while profiling is
+    /// off.
+    #[inline]
+    pub fn enter(name: &'static str) -> StageScope {
+        if !crate::enabled() {
+            return StageScope { active: false };
+        }
+        StageScope {
+            active: enter_frame(name, None, Work::default()),
+        }
+    }
+}
+
+impl Drop for StageScope {
+    fn drop(&mut self) {
+        if self.active {
+            exit_frame();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_enabled_lock;
+    use std::time::Duration;
+
+    fn slot_of(kind: KernelKind) -> &'static KindSlot {
+        slots().get(kind as usize).unwrap()
+    }
+
+    #[test]
+    fn disabled_scopes_record_nothing() {
+        let _guard = test_enabled_lock();
+        crate::set_enabled(false);
+        crate::reset();
+        {
+            let _s = KernelScope::enter(KernelKind::MatMul, || Work::matmul(4, 4, 4));
+        }
+        assert_eq!(slot_of(KernelKind::MatMul).calls.load(Ordering::Relaxed), 0);
+        assert!(crate::report::collapsed().is_empty());
+    }
+
+    #[test]
+    fn kernel_scope_accumulates_work_and_time() {
+        let _guard = test_enabled_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        for _ in 0..3 {
+            let _s = KernelScope::enter(KernelKind::MatMul, || Work::matmul(2, 3, 4));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        crate::set_enabled(false);
+        flush_current_thread();
+        let slot = slot_of(KernelKind::MatMul);
+        assert_eq!(slot.calls.load(Ordering::Relaxed), 3);
+        assert_eq!(slot.flops.load(Ordering::Relaxed), 3 * 2 * 2 * 3 * 4);
+        assert_eq!(slot.elems.load(Ordering::Relaxed), 3 * 8);
+        assert!(slot.wall_ns.load(Ordering::Relaxed) >= 3_000_000);
+        assert!(
+            slot.self_ns.load(Ordering::Relaxed) <= slot.wall_ns.load(Ordering::Relaxed),
+            "self never exceeds wall"
+        );
+    }
+
+    #[test]
+    fn nested_scopes_split_self_time_and_fold_paths() {
+        let _guard = test_enabled_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _outer = KernelScope::enter(KernelKind::Conv2d, || Work::custom(1, 0, 0));
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = KernelScope::enter(KernelKind::Im2col, || Work::copy(64));
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        crate::set_enabled(false);
+        flush_current_thread();
+        let conv = slot_of(KernelKind::Conv2d);
+        let im2col = slot_of(KernelKind::Im2col);
+        let conv_wall = conv.wall_ns.load(Ordering::Relaxed);
+        let conv_self = conv.self_ns.load(Ordering::Relaxed);
+        let im_wall = im2col.wall_ns.load(Ordering::Relaxed);
+        assert!(conv_wall >= im_wall, "parent wall covers child");
+        assert!(
+            conv_self <= conv_wall - im_wall + 1_000_000,
+            "parent self excludes child: self {conv_self}, wall {conv_wall}, child {im_wall}"
+        );
+        let folded = crate::report::collapsed();
+        assert!(folded.contains("conv2d;im2col "), "{folded}");
+        let conv_line = folded
+            .lines()
+            .find(|l| l.starts_with("conv2d ") || l.starts_with("conv2d\t"))
+            .unwrap_or("");
+        assert!(!conv_line.is_empty(), "top-level conv2d line in {folded}");
+    }
+
+    #[test]
+    fn stage_scopes_shape_stacks_without_kernel_slots() {
+        let _guard = test_enabled_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _stage = StageScope::enter("serve/batch");
+            let _k = KernelScope::enter(KernelKind::Softmax, || Work::softmax(4, 10));
+        }
+        crate::set_enabled(false);
+        flush_current_thread();
+        let folded = crate::report::collapsed();
+        assert!(folded.contains("serve/batch;softmax "), "{folded}");
+        assert_eq!(
+            slot_of(KernelKind::Softmax).calls.load(Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn worker_threads_flush_on_exit() {
+        let _guard = test_enabled_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        let t = std::thread::spawn(|| {
+            let _s = KernelScope::enter(KernelKind::Reduction, || Work::reduce(100));
+        });
+        t.join().ok();
+        crate::set_enabled(false);
+        let folded = crate::report::collapsed();
+        assert!(folded.contains("reduction "), "{folded}");
+    }
+}

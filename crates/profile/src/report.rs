@@ -1,0 +1,243 @@
+//! Profile exports: the per-kernel achieved-rate table, the
+//! collapsed-stack (flamegraph-compatible) dump, and gauges published into
+//! an `adv-obs` registry.
+
+use crate::kernel::{self, KernelKind};
+use adv_obs::Registry;
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+/// One kernel's accumulated accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelReport {
+    /// The kernel.
+    pub kind: KernelKind,
+    /// Completed invocations.
+    pub calls: u64,
+    /// Total wall time inside the kernel, children included (ns).
+    pub wall_ns: u64,
+    /// Wall time minus time inside child scopes (ns).
+    pub self_ns: u64,
+    /// Output elements produced across all calls.
+    pub elems: u64,
+    /// Declared floating-point operations across all calls.
+    pub flops: u64,
+    /// Declared bytes moved across all calls.
+    pub bytes: u64,
+}
+
+impl KernelReport {
+    /// Achieved GFLOP/s over the kernel's wall time (0 when unmeasured).
+    pub fn gflops(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.flops as f64 / self.wall_ns as f64
+    }
+
+    /// Achieved GB/s of declared traffic over the kernel's wall time.
+    pub fn gbytes_per_s(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.bytes as f64 / self.wall_ns as f64
+    }
+}
+
+/// Snapshot of every kernel with at least one completed call, sorted by
+/// self time descending.
+pub fn kernel_reports() -> Vec<KernelReport> {
+    let slots = kernel::slots();
+    let mut reports: Vec<KernelReport> = KernelKind::ALL
+        .iter()
+        .filter_map(|&kind| {
+            let slot = slots.get(kind as usize)?;
+            // Reporting-only reads of independent counters: a snapshot
+            // racing a recording thread may tear across fields, which only
+            // skews a report momentarily — every load below is Relaxed.
+            let calls = slot.calls.load(Ordering::Relaxed); // lint-ok(ordering-justified): reporting-only read, see block comment
+            if calls == 0 {
+                return None;
+            }
+            Some(KernelReport {
+                kind,
+                calls,
+                wall_ns: slot.wall_ns.load(Ordering::Relaxed), // lint-ok(ordering-justified): reporting-only read, see block comment
+                self_ns: slot.self_ns.load(Ordering::Relaxed), // lint-ok(ordering-justified): reporting-only read, see block comment
+                elems: slot.elems.load(Ordering::Relaxed), // lint-ok(ordering-justified): reporting-only read, see block comment
+                flops: slot.flops.load(Ordering::Relaxed), // lint-ok(ordering-justified): reporting-only read, see block comment
+                bytes: slot.bytes.load(Ordering::Relaxed), // lint-ok(ordering-justified): reporting-only read, see block comment
+            })
+        })
+        .collect();
+    reports.sort_by_key(|r| std::cmp::Reverse(r.self_ns));
+    reports
+}
+
+/// Sum of kernel self time across all kinds — the numerator of the
+/// "fraction of wall time attributed to named kernels" check. Self time
+/// (not wall) so nested kernels never double-count.
+pub fn total_kernel_self_ns() -> u64 {
+    kernel_reports().iter().map(|r| r.self_ns).sum()
+}
+
+/// Renders the per-kernel table the probes print:
+///
+/// ```text
+/// kernel            calls      total       self   GFLOP/s     GB/s
+/// matmul             1520    1.203s      1.203s      1.84     2.51
+/// ```
+pub fn kernel_table() -> String {
+    let reports = kernel_reports();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>9} {:>11} {:>11} {:>9} {:>8}",
+        "kernel", "calls", "total", "self", "GFLOP/s", "GB/s"
+    );
+    for r in &reports {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>9} {:>11} {:>11} {:>9.2} {:>8.2}",
+            r.kind.name(),
+            r.calls,
+            format_ns(r.wall_ns),
+            format_ns(r.self_ns),
+            r.gflops(),
+            r.gbytes_per_s(),
+        );
+    }
+    let total = total_kernel_self_ns();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>9} {:>11} {:>11}",
+        "TOTAL (self)",
+        "",
+        "",
+        format_ns(total)
+    );
+    let dropped = kernel::dropped_stacks() + crate::trace::dropped_spans();
+    if dropped > 0 {
+        let _ = writeln!(out, "({dropped} profile entries dropped under contention)");
+    }
+    out
+}
+
+/// The collapsed-stack dump in the flamegraph "folded" format — one line
+/// per distinct call path, `frame;frame;frame self_ns`, sorted for stable
+/// output. Feed it straight to `flamegraph.pl` or `inferno`.
+pub fn collapsed() -> String {
+    kernel::flush_current_thread();
+    let sink = kernel::stack_sink();
+    let mut lines: Vec<String> = match sink.stacks.lock() {
+        Ok(stacks) => stacks
+            .iter()
+            .map(|(path, ns)| format!("{} {ns}", path.join(";")))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    lines.sort();
+    let mut out = String::new();
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Publishes the current kernel accounting into `registry` as gauges
+/// (`profile.kernel.<name>.{calls,wall_ns,self_ns,gflops}` plus
+/// `profile.self_ns_total` and `profile.dropped`). Gauge semantics make
+/// republishing idempotent — probes call this right before exporting the
+/// registry snapshot.
+pub fn publish_to(registry: &Registry) {
+    for r in kernel_reports() {
+        let base = format!("profile.kernel.{}", r.kind.name());
+        registry.gauge(&format!("{base}.calls")).set(r.calls as f64);
+        registry
+            .gauge(&format!("{base}.wall_ns"))
+            .set(r.wall_ns as f64);
+        registry
+            .gauge(&format!("{base}.self_ns"))
+            .set(r.self_ns as f64);
+        registry.gauge(&format!("{base}.gflops")).set(r.gflops());
+    }
+    registry
+        .gauge("profile.self_ns_total")
+        .set(total_kernel_self_ns() as f64);
+    registry
+        .gauge("profile.dropped")
+        .set((kernel::dropped_stacks() + crate::trace::dropped_spans()) as f64);
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_enabled_lock;
+    use crate::{KernelScope, Work};
+
+    #[test]
+    fn reports_table_and_registry_cover_recorded_kernels() {
+        let _guard = test_enabled_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _s = KernelScope::enter(KernelKind::MatMul, || Work::matmul(8, 8, 8));
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        crate::set_enabled(false);
+        kernel::flush_current_thread();
+
+        let reports = kernel_reports();
+        assert_eq!(reports.len(), 1);
+        let r = reports.first().unwrap();
+        assert_eq!(r.kind, KernelKind::MatMul);
+        assert_eq!(r.calls, 1);
+        assert_eq!(r.flops, 2 * 8 * 8 * 8);
+        assert!(r.gflops() > 0.0);
+        assert!(total_kernel_self_ns() >= 1_000_000);
+
+        let table = kernel_table();
+        assert!(table.contains("matmul"), "{table}");
+        assert!(table.contains("TOTAL (self)"), "{table}");
+
+        let registry = Registry::new();
+        publish_to(&registry);
+        let snap = registry.snapshot();
+        assert!(snap.gauge("profile.kernel.matmul.calls").is_some());
+        assert!(snap.gauge("profile.self_ns_total").unwrap() >= 1e6);
+    }
+
+    #[test]
+    fn collapsed_output_is_folded_format() {
+        let _guard = test_enabled_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _outer = KernelScope::enter(KernelKind::Conv2d, || Work::custom(1, 0, 0));
+            let _inner = KernelScope::enter(KernelKind::MatMulABt, || Work::matmul(2, 2, 2));
+        }
+        crate::set_enabled(false);
+        let folded = collapsed();
+        let line = folded
+            .lines()
+            .find(|l| l.starts_with("conv2d;matmul_a_bt"))
+            .unwrap_or("");
+        assert!(!line.is_empty(), "{folded}");
+        let mut parts = line.rsplitn(2, ' ');
+        let ns: u64 = parts.next().unwrap_or("x").parse().unwrap_or(u64::MAX);
+        assert!(ns < u64::MAX, "numeric self field: {line}");
+    }
+}

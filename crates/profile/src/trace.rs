@@ -1,0 +1,424 @@
+//! Causal request traces: a [`TraceId`] minted at submit time, threaded
+//! through queue wait, batch formation, defense stages and kernel scopes.
+//!
+//! The serving engine mints one id per request ([`next_trace_id`]) and one
+//! per executed batch; [`link`] ties each request to the batch that served
+//! it. The worker activates the batch id on its thread with
+//! [`record_into`], so every [`KernelScope`](crate::KernelScope) /
+//! [`StageScope`](crate::StageScope) drop during the batch also lands as a
+//! [`TraceSpan`] in a bounded global ring (newest spans win; a contended
+//! flush drops rather than blocks, like the kernel sink). Request-level
+//! events that happen outside the worker — queue wait, total latency — are
+//! recorded explicitly with [`record_event`].
+//!
+//! [`observe_latency`] keeps one exemplar trace id per latency-histogram
+//! bucket (last writer wins), so "what does a 16–32 ms request look like?"
+//! resolves to a concrete span tree via [`spans_for`]/[`render_trace`]
+//! instead of a bucket count.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Hard cap on spans held in the global ring; older spans are evicted.
+pub const MAX_TRACE_SPANS: usize = 1 << 16;
+
+/// Hard cap on request→batch links held; older links are evicted.
+pub const MAX_TRACE_LINKS: usize = 1 << 14;
+
+/// A causal trace identity. `0` is the null id ("not traced"): minting is
+/// gated on [`crate::enabled`], so untraced deployments pay one relaxed
+/// load per submit and every id stays 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// The null id: not traced.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// Rebuilds an id from its raw value (e.g. off a telemetry row).
+    pub fn from_u64(raw: u64) -> TraceId {
+        TraceId(raw)
+    }
+
+    /// The raw value (0 = none) — what rides on `ServedRecord` and
+    /// telemetry rows.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// `true` for the null id.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// One recorded interval inside a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Owning trace id (a request's or a batch's).
+    pub trace: u64,
+    /// Frame name (kernel name, stage name, or an explicit event name).
+    pub name: &'static str,
+    /// Nesting depth at entry (0 = top level on its thread).
+    pub depth: u16,
+    /// Start offset in nanoseconds from the process profile epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Mints a fresh trace id, or [`TraceId::NONE`] while profiling is off.
+#[inline]
+pub fn next_trace_id() -> TraceId {
+    if !crate::enabled() {
+        return TraceId::NONE;
+    }
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    // lint-ok(ordering-justified): unique-id handout; atomicity of the
+    // increment is the whole contract, no memory is published through it.
+    TraceId(NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+struct TraceSink {
+    spans: Mutex<VecDeque<TraceSpan>>,
+    links: Mutex<VecDeque<(u64, u64)>>,
+    dropped: AtomicU64,
+}
+
+fn sink() -> &'static TraceSink {
+    static SINK: OnceLock<TraceSink> = OnceLock::new();
+    SINK.get_or_init(|| TraceSink {
+        spans: Mutex::new(VecDeque::new()),
+        links: Mutex::new(VecDeque::new()),
+        dropped: AtomicU64::new(0),
+    })
+}
+
+/// Merges a thread's pending spans into the global ring (newest win).
+/// Drop-not-block: a contended ring drops the batch and counts it.
+pub(crate) fn flush_spans(pending: &mut Vec<TraceSpan>) {
+    let sink = sink();
+    match sink.spans.try_lock() {
+        Ok(mut ring) => {
+            for span in pending.drain(..) {
+                if ring.len() >= MAX_TRACE_SPANS {
+                    ring.pop_front();
+                }
+                ring.push_back(span);
+            }
+        }
+        Err(_) => {
+            // lint-ok(ordering-justified): independent overflow counter;
+            // readers only report it.
+            sink.dropped
+                .fetch_add(pending.len() as u64, Ordering::Relaxed);
+            pending.clear();
+        }
+    }
+}
+
+/// Spans dropped because the span ring stayed contended at flush time.
+pub fn dropped_spans() -> u64 {
+    // lint-ok(ordering-justified): reporting-only read of an independent
+    // counter; staleness is fine.
+    sink().dropped.load(Ordering::Relaxed)
+}
+
+/// Ties a request trace to the batch trace that served it. No-op for null
+/// ids; drop-not-block under contention.
+pub fn link(request: TraceId, batch: TraceId) {
+    if request.is_none() || batch.is_none() {
+        return;
+    }
+    if let Ok(mut links) = sink().links.try_lock() {
+        if links.len() >= MAX_TRACE_LINKS {
+            links.pop_front();
+        }
+        links.push_back((request.0, batch.0));
+    }
+}
+
+/// Records one explicit event of `dur_ns` ending roughly now (e.g. a
+/// request's queue wait) into `trace`. No-op for the null id.
+pub fn record_event(trace: TraceId, name: &'static str, dur_ns: u64) {
+    if trace.is_none() || !crate::enabled() {
+        return;
+    }
+    let now_ns = crate::kernel::epoch().elapsed().as_nanos() as u64;
+    crate::kernel::push_span(TraceSpan {
+        trace: trace.0,
+        name,
+        depth: 0,
+        start_ns: now_ns.saturating_sub(dur_ns),
+        dur_ns,
+    });
+}
+
+/// RAII guard scoping the calling thread's active trace; see
+/// [`record_into`].
+#[derive(Debug)]
+#[must_use = "the trace deactivates when the guard is dropped"]
+pub struct TraceGuard {
+    previous: u64,
+    active: bool,
+}
+
+/// Activates `trace` on the calling thread: until the guard drops, every
+/// kernel/stage scope completing on this thread is also recorded as a
+/// [`TraceSpan`] of `trace`. Null ids (or profiling off) activate nothing.
+pub fn record_into(trace: TraceId) -> TraceGuard {
+    if trace.is_none() || !crate::enabled() {
+        return TraceGuard {
+            previous: 0,
+            active: false,
+        };
+    }
+    TraceGuard {
+        previous: crate::kernel::swap_thread_trace(trace.0),
+        active: true,
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if self.active {
+            let _ = crate::kernel::swap_thread_trace(self.previous);
+        }
+    }
+}
+
+fn exemplar_slots() -> &'static [AtomicU64] {
+    static SLOTS: OnceLock<Vec<AtomicU64>> = OnceLock::new();
+    SLOTS.get_or_init(|| {
+        (0..=adv_obs::DURATION_BOUNDS_NS.len())
+            .map(|_| AtomicU64::new(0))
+            .collect()
+    })
+}
+
+/// Stamps `trace` as the exemplar for the latency-histogram bucket
+/// `latency_ns` falls in (the same `DURATION_BOUNDS_NS` buckets the serve
+/// metrics histogram uses). Last writer wins; null ids are ignored.
+pub fn observe_latency(latency_ns: u64, trace: TraceId) {
+    if trace.is_none() {
+        return;
+    }
+    let v = latency_ns as f64;
+    let idx = adv_obs::DURATION_BOUNDS_NS.partition_point(|&b| b < v);
+    if let Some(slot) = exemplar_slots().get(idx) {
+        // lint-ok(ordering-justified): last-writer-wins exemplar cell; the
+        // id is self-contained and readers tolerate any published value.
+        slot.store(trace.0, Ordering::Relaxed);
+    }
+}
+
+/// The per-bucket latency exemplars recorded so far: `(upper_bound_ns,
+/// trace_id)` for every bucket that has one (the last bucket reports
+/// `f64::INFINITY`).
+pub fn latency_exemplars() -> Vec<(f64, u64)> {
+    exemplar_slots()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, slot)| {
+            // lint-ok(ordering-justified): reporting-only read of a
+            // last-writer-wins cell.
+            let id = slot.load(Ordering::Relaxed);
+            if id == 0 {
+                return None;
+            }
+            let le = adv_obs::DURATION_BOUNDS_NS
+                .get(i)
+                .copied()
+                .unwrap_or(f64::INFINITY);
+            Some((le, id))
+        })
+        .collect()
+}
+
+/// Every recorded span belonging to `trace` — including spans of batch
+/// traces [`link`]ed from it — sorted by start time. Flushes the calling
+/// thread first; worker threads flush at buffer thresholds and when their
+/// frame stacks unwind.
+pub fn spans_for(trace: TraceId) -> Vec<TraceSpan> {
+    if trace.is_none() {
+        return Vec::new();
+    }
+    crate::kernel::flush_current_thread();
+    let sink = sink();
+    let batches: Vec<u64> = match sink.links.lock() {
+        Ok(links) => links
+            .iter()
+            .filter(|(req, _)| *req == trace.0)
+            .map(|(_, batch)| *batch)
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    let mut spans: Vec<TraceSpan> = match sink.spans.lock() {
+        Ok(ring) => ring
+            .iter()
+            .filter(|s| s.trace == trace.0 || batches.contains(&s.trace))
+            .copied()
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    spans.sort_by_key(|s| (s.start_ns, s.depth));
+    spans
+}
+
+/// Renders `trace`'s span tree as indented text (one line per span,
+/// depth-indented, with start offset and duration) — the exemplar drill
+/// -down view the probes print for slow requests.
+pub fn render_trace(trace: TraceId) -> String {
+    let spans = spans_for(trace);
+    let mut out = String::new();
+    let _ = writeln!(out, "trace {} ({} spans)", trace.as_u64(), spans.len());
+    for s in &spans {
+        let indent = "  ".repeat(usize::from(s.depth) + 1);
+        let origin = if s.trace == trace.as_u64() {
+            ""
+        } else {
+            " [batch]"
+        };
+        let _ = writeln!(
+            out,
+            "{indent}{} +{:.3}ms {:.3}ms{origin}",
+            s.name,
+            s.start_ns as f64 / 1e6,
+            s.dur_ns as f64 / 1e6,
+        );
+    }
+    out
+}
+
+/// Clears spans, links, exemplars and the drop counter (tests/probes).
+pub(crate) fn reset_traces() {
+    let sink = sink();
+    if let Ok(mut spans) = sink.spans.lock() {
+        spans.clear();
+    }
+    if let Ok(mut links) = sink.links.lock() {
+        links.clear();
+    }
+    // lint-ok(ordering-justified): test/probe-only reset of an independent
+    // counter.
+    sink.dropped.store(0, Ordering::Relaxed);
+    for slot in exemplar_slots() {
+        // lint-ok(ordering-justified): test/probe-only reset of a
+        // last-writer-wins cell.
+        slot.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{KernelScope, StageScope};
+    use crate::test_enabled_lock;
+    use crate::{KernelKind, Work};
+
+    #[test]
+    fn disabled_minting_yields_none() {
+        let _guard = test_enabled_lock();
+        crate::set_enabled(false);
+        assert!(next_trace_id().is_none());
+    }
+
+    #[test]
+    fn ids_are_unique_when_enabled() {
+        let _guard = test_enabled_lock();
+        crate::set_enabled(true);
+        let a = next_trace_id();
+        let b = next_trace_id();
+        crate::set_enabled(false);
+        assert!(!a.is_none());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn recorded_scopes_land_in_the_trace() {
+        let _guard = test_enabled_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        let request = next_trace_id();
+        let batch = next_trace_id();
+        link(request, batch);
+        record_event(request, "queue_wait", 1234);
+        {
+            let _rec = record_into(batch);
+            let _stage = StageScope::enter("serve/batch");
+            let _k = KernelScope::enter(KernelKind::MatMul, || Work::matmul(2, 2, 2));
+        }
+        crate::set_enabled(false);
+        let spans = spans_for(request);
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"queue_wait"), "{names:?}");
+        assert!(names.contains(&"serve/batch"), "{names:?}");
+        assert!(names.contains(&"matmul"), "{names:?}");
+        let rendered = render_trace(request);
+        assert!(rendered.contains("matmul"), "{rendered}");
+        assert!(rendered.contains("[batch]"), "{rendered}");
+    }
+
+    #[test]
+    fn trace_guard_restores_previous_trace() {
+        let _guard = test_enabled_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        let outer = next_trace_id();
+        let inner = next_trace_id();
+        {
+            let _a = record_into(outer);
+            {
+                let _b = record_into(inner);
+                let _k = KernelScope::enter(KernelKind::Jsd, || Work::custom(1, 1, 1));
+            }
+            let _k = KernelScope::enter(KernelKind::Softmax, || Work::softmax(1, 2));
+        }
+        crate::set_enabled(false);
+        let inner_spans = spans_for(inner);
+        let outer_spans = spans_for(outer);
+        assert!(inner_spans.iter().any(|s| s.name == "jsd"));
+        assert!(inner_spans.iter().all(|s| s.name != "softmax"));
+        assert!(outer_spans.iter().any(|s| s.name == "softmax"));
+    }
+
+    #[test]
+    fn exemplars_keep_one_trace_per_bucket() {
+        let _guard = test_enabled_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        let a = next_trace_id();
+        let b = next_trace_id();
+        crate::set_enabled(false);
+        observe_latency(300, a); // 256..512 bucket
+        observe_latency(100_000_000, b); // ~100ms bucket
+        observe_latency(0, TraceId::NONE); // ignored
+        let ex = latency_exemplars();
+        assert_eq!(ex.len(), 2, "{ex:?}");
+        assert!(ex.iter().any(|&(le, id)| le == 512.0 && id == a.as_u64()));
+        assert!(ex.iter().any(|&(_, id)| id == b.as_u64()));
+    }
+
+    #[test]
+    fn span_ring_evicts_oldest() {
+        let _guard = test_enabled_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        let mut pending: Vec<TraceSpan> = (0..MAX_TRACE_SPANS + 10)
+            .map(|i| TraceSpan {
+                trace: 7,
+                name: "fill",
+                depth: 0,
+                start_ns: i as u64,
+                dur_ns: 1,
+            })
+            .collect();
+        flush_spans(&mut pending);
+        crate::set_enabled(false);
+        let spans = spans_for(TraceId::from_u64(7));
+        assert_eq!(spans.len(), MAX_TRACE_SPANS);
+        assert_eq!(spans.first().map(|s| s.start_ns), Some(10));
+    }
+}

@@ -37,6 +37,7 @@ use crate::{Result, ServeError};
 use adv_chaos::FaultInjector;
 use adv_magnet::{DefensePipeline, DefenseScheme, StageTimings, Verdict};
 use adv_obs::Span;
+use adv_profile::TraceId;
 use adv_tensor::Tensor;
 use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
@@ -119,6 +120,9 @@ pub struct ServeResponse {
     /// `true` when [`scheme`](Self::scheme) is a degraded fallback of the
     /// configured scheme.
     pub degraded: bool,
+    /// The request's causal trace id ([`TraceId::NONE`] while profiling is
+    /// off). Resolve it to a span tree with `adv_profile::render_trace`.
+    pub trace: TraceId,
 }
 
 /// Handle to a submitted request; resolves to its [`ServeResponse`].
@@ -157,6 +161,7 @@ impl PendingVerdict {
 struct Request {
     input: Tensor,
     tag: RequestTag,
+    trace: TraceId,
     submitted: Instant,
     deadline: Option<Instant>,
     tx: mpsc::Sender<Result<ServeResponse>>,
@@ -340,6 +345,7 @@ impl ServeEngine {
         let request = Request {
             input,
             tag,
+            trace: adv_profile::next_trace_id(),
             submitted,
             deadline: budget.map(|b| submitted + b),
             tx,
@@ -529,6 +535,15 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Request>) -> WorkerExit {
         let started = Instant::now();
         let (scheme, role) = shared.breaker.scheme_for_batch(shared.health.now_ns());
         let degraded = scheme != cfg.scheme;
+        // One trace id per executed batch; each request's trace is linked
+        // to it, and the guard tags every kernel/stage scope the pipeline
+        // runs on this thread with the batch id. All of this is a no-op
+        // (null ids, inactive guard) while profiling is off.
+        let batch_trace = adv_profile::next_trace_id();
+        for request in &group {
+            adv_profile::link(request.trace, batch_trace);
+        }
+        let _trace_guard = adv_profile::record_into(batch_trace);
         let inputs: Vec<Tensor> = group.iter().map(|r| r.input.clone()).collect();
 
         // The response senders stay in `group`, outside the unwinding
@@ -596,7 +611,14 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Request>) -> WorkerExit {
                         latency: request.submitted.elapsed(),
                         scheme,
                         degraded,
+                        trace: request.trace,
                     };
+                    adv_profile::record_event(
+                        request.trace,
+                        "queue_wait",
+                        response.queue_wait.as_nanos() as u64,
+                    );
+                    adv_profile::observe_latency(response.latency.as_nanos() as u64, request.trace);
                     shared.metrics.record_completed(response.latency);
                     if degraded {
                         shared.metrics.record_degraded_response();
@@ -616,6 +638,7 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Request>) -> WorkerExit {
                             queue_ns: response.queue_wait.as_nanos() as u64,
                             infer_ns: timings.total().as_nanos() as u64,
                             tick_ns: shared.health.now_ns(),
+                            trace_id: request.trace.as_u64(),
                             scores: &scores,
                         });
                     }

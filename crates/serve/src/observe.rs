@@ -52,6 +52,9 @@ pub struct ServedRecord<'a> {
     pub infer_ns: u64,
     /// Response timestamp on the engine's monotonic `now_ns` time base.
     pub tick_ns: u64,
+    /// The request's causal trace id (`adv_profile::TraceId` raw value; 0
+    /// when profiling is off). Joins telemetry rows with span trees.
+    pub trace_id: u64,
     /// Per-detector anomaly scores for this input, in the defense's
     /// detector order. Empty when the pipeline does not expose scores.
     // lint-ok(no-panic-lib): slice *type* in a field declaration, not an index expression.

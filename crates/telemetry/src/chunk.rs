@@ -2,26 +2,28 @@
 //! per-column min/max statistics.
 //!
 //! A chunk holds every row field as its own contiguous column, so a range
-//! query touching two of eleven columns reads two arrays, and the stats let
+//! query touching two of twelve columns reads two arrays, and the stats let
 //! the query layer skip whole chunks without opening them. Sealed layout
 //! (the payload inside `adv-store`'s `ADVSTOR1` envelope, little-endian):
 //!
 //! ```text
 //! magic   "ADVTCHK1"  8 bytes
-//! version u32         currently 1
+//! version u32         currently 2 (v2 added the trace column)
 //! rows    u32
 //! tick    rows × u64      queue_ns  rows × u64
 //! tenant  rows × u32      infer_ns  rows × u64
-//! route   rows × u32      nscores   rows × u8
-//! sample  rows × u32      score[k]  rows × f32, k = 0..MAX_DETECTORS
-//! scheme  rows × u8
+//! route   rows × u32      trace     rows × u64
+//! sample  rows × u32      nscores   rows × u8
+//! scheme  rows × u8       score[k]  rows × f32, k = 0..MAX_DETECTORS
 //! degraded rows × u8
 //! verdict rows × i32
 //! ```
 //!
 //! Validation is strict: wrong magic/version, a row count that does not
 //! match the byte length, trailing bytes, or an unknown scheme code all
-//! reject the chunk (the store layer then quarantines it).
+//! reject the chunk (the store layer then quarantines it). Strictness
+//! includes the version: v1 chunks (no trace column) are rejected, landing
+//! in quarantine like any other unreadable payload.
 
 use crate::row::{scheme_code, scheme_from_code, verdict_code, verdict_from_code};
 use crate::{TelemetryRow, MAX_DETECTORS};
@@ -30,13 +32,13 @@ use crate::{TelemetryRow, MAX_DETECTORS};
 pub const CHUNK_MAGIC: &[u8; 8] = b"ADVTCHK1";
 
 /// Chunk format version this build writes and accepts.
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Header bytes before the columns.
 const HEADER_LEN: usize = 8 + 4 + 4;
 
 /// Bytes one row occupies across all columns.
-const ROW_BYTES: usize = 8 + 4 + 4 + 4 + 1 + 1 + 4 + 8 + 8 + 1 + 4 * MAX_DETECTORS;
+const ROW_BYTES: usize = 8 + 4 + 4 + 4 + 1 + 1 + 4 + 8 + 8 + 8 + 1 + 4 * MAX_DETECTORS;
 
 /// Per-column min/max statistics of a sealed chunk — everything the query
 /// layer needs to prune a chunk without reading it.
@@ -155,6 +157,7 @@ pub struct Chunk {
     verdict: Vec<i32>,
     queue_ns: Vec<u64>,
     infer_ns: Vec<u64>,
+    trace: Vec<u64>,
     nscores: Vec<u8>,
     scores: [Vec<f32>; MAX_DETECTORS],
 }
@@ -172,6 +175,7 @@ impl Chunk {
             verdict: Vec::with_capacity(capacity),
             queue_ns: Vec::with_capacity(capacity),
             infer_ns: Vec::with_capacity(capacity),
+            trace: Vec::with_capacity(capacity),
             nscores: Vec::with_capacity(capacity),
             scores: std::array::from_fn(|_| Vec::with_capacity(capacity)),
         }
@@ -198,6 +202,7 @@ impl Chunk {
         self.verdict.push(verdict_code(row.verdict));
         self.queue_ns.push(row.queue_ns);
         self.infer_ns.push(row.infer_ns);
+        self.trace.push(row.trace);
         let n = (row.nscores as usize).min(MAX_DETECTORS);
         self.nscores.push(n as u8);
         for (k, col) in self.scores.iter_mut().enumerate() {
@@ -222,6 +227,7 @@ impl Chunk {
             verdict: verdict_from_code(self.verdict.get(i).copied()?),
             queue_ns: self.queue_ns.get(i).copied()?,
             infer_ns: self.infer_ns.get(i).copied()?,
+            trace: self.trace.get(i).copied()?,
             nscores: self.nscores.get(i).copied()?,
             scores,
         })
@@ -319,6 +325,9 @@ impl Chunk {
         for v in &self.infer_ns {
             out.extend_from_slice(&v.to_le_bytes());
         }
+        for v in &self.trace {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
         out.extend_from_slice(&self.nscores);
         for col in &self.scores {
             for v in col {
@@ -370,6 +379,7 @@ impl Chunk {
         chunk.verdict = cur.i32_vec(rows)?;
         chunk.queue_ns = cur.u64_vec(rows)?;
         chunk.infer_ns = cur.u64_vec(rows)?;
+        chunk.trace = cur.u64_vec(rows)?;
         chunk.nscores = cur.u8_vec(rows)?;
         for col in &mut chunk.scores {
             *col = cur.f32_vec(rows)?;
@@ -494,6 +504,7 @@ mod tests {
             },
             50 + i as u64,
             200 + i as u64,
+            i as u64 + 1,
             &[i as f32 * 0.5, 1.0 / (i as f32 + 1.0), -0.25, 3.0],
         )
     }

@@ -93,6 +93,7 @@ impl ResponseObserver for TelemetrySink {
             record.verdict,
             record.queue_ns,
             record.infer_ns,
+            record.trace_id,
             record.scores,
         ));
     }
@@ -265,6 +266,7 @@ mod tests {
             Verdict::Classified(0),
             5,
             7,
+            i + 100,
             &[0.1, 0.2],
         )
     }

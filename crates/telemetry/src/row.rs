@@ -31,6 +31,9 @@ pub struct TelemetryRow {
     pub queue_ns: u64,
     /// Pipeline execution time of the request's batch, nanoseconds.
     pub infer_ns: u64,
+    /// Causal trace id of the request (`adv_profile::TraceId` raw value; 0
+    /// when profiling was off). Joins this row with recorded span trees.
+    pub trace: u64,
     /// Number of live entries in [`scores`](Self::scores).
     pub nscores: u8,
     /// Per-detector anomaly scores (first `nscores` entries are live).
@@ -57,6 +60,7 @@ impl TelemetryRow {
         verdict: Verdict,
         queue_ns: u64,
         infer_ns: u64,
+        trace: u64,
         detector_scores: &[f32],
     ) -> TelemetryRow {
         let mut scores = [0f32; MAX_DETECTORS];
@@ -74,6 +78,7 @@ impl TelemetryRow {
             verdict,
             queue_ns,
             infer_ns,
+            trace,
             nscores: n as u8,
             scores,
         }
@@ -156,6 +161,7 @@ mod tests {
             Verdict::Detected,
             10,
             20,
+            0,
             &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
         );
         assert_eq!(row.nscores as usize, MAX_DETECTORS);
@@ -170,6 +176,7 @@ mod tests {
             Verdict::Classified(7),
             10,
             20,
+            0,
             &[0.5],
         );
         assert_eq!(short.live_scores(), &[0.5]);

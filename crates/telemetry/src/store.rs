@@ -318,6 +318,7 @@ mod tests {
             Verdict::Classified(i as usize % 10),
             1,
             2,
+            i,
             &[i as f32, 0.5],
         )
     }

@@ -59,6 +59,7 @@ fn row(i: u64) -> TelemetryRow {
         },
         100 + i,
         500 + i * 3,
+        i.wrapping_mul(2654435761),
         &[
             (i as f32 * 0.017) % 3.0,
             1.0 / (i as f32 + 1.0),

@@ -76,6 +76,7 @@ fn materialize(raw: &[RawRow]) -> Vec<TelemetryRow> {
                 },
                 1,
                 2,
+                i as u64,
                 &[r.score, 100.0 - r.score],
             )
         })

@@ -6,6 +6,7 @@
 //! report them as well.
 
 use crate::{Result, Tensor, TensorError};
+use adv_profile::{KernelKind, KernelScope, Work};
 
 fn check(a: &Tensor, b: &Tensor) -> Result<()> {
     if a.shape() != b.shape() {
@@ -24,16 +25,19 @@ pub fn l0_norm(t: &Tensor, tol: f32) -> usize {
 
 /// `‖t‖₁ = Σ|tᵢ|`.
 pub fn l1_norm(t: &Tensor) -> f32 {
+    let _prof = KernelScope::enter(KernelKind::Reduction, || Work::reduce(t.len()));
     t.as_slice().iter().map(|v| v.abs()).sum()
 }
 
 /// `‖t‖₂ = √(Σ tᵢ²)`.
 pub fn l2_norm(t: &Tensor) -> f32 {
+    let _prof = KernelScope::enter(KernelKind::Reduction, || Work::reduce(t.len()));
     t.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt()
 }
 
 /// Squared L2 norm `Σ tᵢ²` (avoids the square root on hot paths).
 pub fn l2_norm_sq(t: &Tensor) -> f32 {
+    let _prof = KernelScope::enter(KernelKind::Reduction, || Work::reduce(t.len()));
     t.as_slice().iter().map(|v| v * v).sum::<f32>()
 }
 
@@ -49,6 +53,7 @@ pub fn linf_norm(t: &Tensor) -> f32 {
 /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
 pub fn l1_dist(a: &Tensor, b: &Tensor) -> Result<f32> {
     check(a, b)?;
+    let _prof = KernelScope::enter(KernelKind::Reduction, || Work::reduce(a.len()));
     Ok(a.as_slice()
         .iter()
         .zip(b.as_slice())
@@ -63,6 +68,7 @@ pub fn l1_dist(a: &Tensor, b: &Tensor) -> Result<f32> {
 /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
 pub fn l2_dist(a: &Tensor, b: &Tensor) -> Result<f32> {
     check(a, b)?;
+    let _prof = KernelScope::enter(KernelKind::Reduction, || Work::reduce(a.len()));
     Ok(a.as_slice()
         .iter()
         .zip(b.as_slice())
@@ -93,6 +99,7 @@ pub fn linf_dist(a: &Tensor, b: &Tensor) -> Result<f32> {
 /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
 pub fn elastic_net_dist(a: &Tensor, b: &Tensor, beta: f32) -> Result<f32> {
     check(a, b)?;
+    let _prof = KernelScope::enter(KernelKind::Reduction, || Work::reduce(a.len()));
     let mut l1 = 0.0f32;
     let mut l2sq = 0.0f32;
     for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {

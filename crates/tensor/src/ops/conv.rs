@@ -7,6 +7,7 @@
 
 use crate::ops::matmul::{matmul_a_bt, matmul_at_b};
 use crate::{Result, Shape, Tensor, TensorError};
+use adv_profile::{KernelKind, KernelScope, Work};
 use serde::{Deserialize, Serialize};
 
 /// Geometry of a 2-D convolution.
@@ -120,6 +121,7 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
     let (ho, wo) = spec.output_hw(h, w);
     let c = spec.in_channels;
     let patch = spec.patch_len();
+    let _prof = KernelScope::enter(KernelKind::Im2col, || Work::copy(n * ho * wo * patch));
     let x = input.as_slice();
     let mut cols = vec![0.0f32; n * ho * wo * patch];
     let pad = spec.padding as isize;
@@ -175,6 +177,13 @@ pub fn col2im(cols: &Tensor, n: usize, h: usize, w: usize, spec: &Conv2dSpec) ->
             right: cols.shape().dims().to_vec(),
         });
     }
+    let _prof = KernelScope::enter(KernelKind::Col2im, || {
+        Work::custom(
+            (n * c * h * w) as u64,
+            (n * ho * wo * patch) as u64,
+            (8 * n * ho * wo * patch) as u64,
+        )
+    });
     let cv = cols.as_slice();
     let mut out = vec![0.0f32; n * c * h * w];
     let pad = spec.padding as isize;
@@ -240,6 +249,11 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Conv2dSpec)
     }
     let (n, h, w) = spec.validate_input(input)?;
     let (ho, wo) = spec.output_hw(h, w);
+    let _prof = KernelScope::enter(KernelKind::Conv2d, || {
+        // The im2col + matmul children account their own volumes; the
+        // conv2d frame itself owns the bias repack.
+        Work::map(n * spec.out_channels * ho * wo)
+    });
     let cols = im2col(input, spec)?;
     let wmat = weight.reshape(Shape::matrix(spec.out_channels, spec.patch_len()))?;
     // rows: [n·ho·wo, oc]
@@ -286,6 +300,9 @@ pub fn conv2d_backward(
         });
     }
 
+    let _prof = KernelScope::enter(KernelKind::Conv2dBackward, || {
+        Work::map(n * spec.out_channels * ho * wo)
+    });
     // Repack dy from NCHW to rows [n·ho·wo, oc] (matching the im2col row order).
     let oc = spec.out_channels;
     let hw = ho * wo;

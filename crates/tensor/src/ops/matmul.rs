@@ -11,6 +11,7 @@
 //! a contiguous axpy the compiler auto-vectorizes.
 
 use crate::{Result, Shape, Tensor, TensorError};
+use adv_profile::{KernelKind, KernelScope, Work};
 
 const BLOCK: usize = 64;
 
@@ -51,6 +52,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             right_rows: kb,
         });
     }
+    let _prof = KernelScope::enter(KernelKind::MatMul, || Work::matmul(m, ka, n));
     let av = a.as_slice();
     let bv = b.as_slice();
     let mut c = vec![0.0f32; m * n];
@@ -89,6 +91,7 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             right_rows: kb,
         });
     }
+    let _prof = KernelScope::enter(KernelKind::MatMulAtB, || Work::matmul(m, ka, n));
     let av = a.as_slice();
     let bv = b.as_slice();
     let mut c = vec![0.0f32; m * n];
@@ -124,6 +127,7 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             right_rows: kb,
         });
     }
+    let _prof = KernelScope::enter(KernelKind::MatMulABt, || Work::matmul(m, ka, n));
     let av = a.as_slice();
     let bv = b.as_slice();
     let mut c = vec![0.0f32; m * n];

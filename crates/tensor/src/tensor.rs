@@ -1,4 +1,5 @@
 use crate::{Result, Shape, TensorError};
+use adv_profile::{KernelKind, KernelScope, Work};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -210,6 +211,7 @@ impl Tensor {
             return Err(TensorError::IndexOutOfBounds { index: i, bound: n });
         }
         let item = self.shape.volume() / n;
+        let _prof = KernelScope::enter(KernelKind::Memcpy, || Work::copy(item));
         let data = self.data[i * item..(i + 1) * item].to_vec();
         let dims = self.shape.dims()[1..].to_vec();
         Tensor::from_vec(data, Shape::new(dims))
@@ -248,6 +250,8 @@ impl Tensor {
         let first = items
             .first()
             .ok_or_else(|| TensorError::InvalidArgument("stack of zero tensors".into()))?;
+        let _prof =
+            KernelScope::enter(KernelKind::Memcpy, || Work::copy(first.len() * items.len()));
         let mut data = Vec::with_capacity(first.len() * items.len());
         for t in items {
             if t.shape != first.shape {
@@ -280,6 +284,9 @@ impl Tensor {
             });
         }
         let tail = &first.shape.dims()[1..];
+        let _prof = KernelScope::enter(KernelKind::Memcpy, || {
+            Work::copy(items.iter().map(Tensor::len).sum())
+        });
         let mut n = 0usize;
         let mut data = Vec::new();
         for t in items {
@@ -367,6 +374,7 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let _prof = KernelScope::enter(KernelKind::Elementwise, || Work::map(self.data.len()));
         Tensor {
             data: self.data.iter().map(|&v| f(v)).collect(),
             shape: self.shape.clone(),
@@ -375,6 +383,7 @@ impl Tensor {
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        let _prof = KernelScope::enter(KernelKind::Elementwise, || Work::map(self.data.len()));
         for v in &mut self.data {
             *v = f(*v);
         }
@@ -387,6 +396,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
         self.check_same_shape(other)?;
+        let _prof = KernelScope::enter(KernelKind::Elementwise, || Work::zip(self.data.len()));
         let data = self
             .data
             .iter()
@@ -407,6 +417,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn add_scaled_assign(&mut self, other: &Tensor, k: f32) -> Result<()> {
         self.check_same_shape(other)?;
+        let _prof = KernelScope::enter(KernelKind::Elementwise, || Work::zip(self.data.len()));
         for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += k * b;
         }
@@ -424,6 +435,7 @@ impl Tensor {
 
     /// In-place `self *= k`.
     pub fn scale_assign(&mut self, k: f32) {
+        let _prof = KernelScope::enter(KernelKind::Elementwise, || Work::map(self.data.len()));
         for v in &mut self.data {
             *v *= k;
         }
@@ -438,6 +450,7 @@ impl Tensor {
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
+        let _prof = KernelScope::enter(KernelKind::Reduction, || Work::reduce(self.data.len()));
         // Kahan summation keeps reductions stable for the long, small-valued
         // buffers produced by image batches.
         let mut sum = 0.0f32;
@@ -462,11 +475,13 @@ impl Tensor {
 
     /// Maximum element (−∞ for an empty tensor).
     pub fn max(&self) -> f32 {
+        let _prof = KernelScope::enter(KernelKind::Reduction, || Work::reduce(self.data.len()));
         self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (+∞ for an empty tensor).
     pub fn min(&self) -> f32 {
+        let _prof = KernelScope::enter(KernelKind::Reduction, || Work::reduce(self.data.len()));
         self.data.iter().copied().fold(f32::INFINITY, f32::min)
     }
 
@@ -494,6 +509,7 @@ impl Tensor {
                 actual: self.shape.rank(),
             });
         }
+        let _prof = KernelScope::enter(KernelKind::Reduction, || Work::reduce(self.data.len()));
         let (r, c) = (self.shape.dim(0), self.shape.dim(1));
         let mut out = Vec::with_capacity(r);
         for i in 0..r {
@@ -516,6 +532,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn dot(&self, other: &Tensor) -> Result<f32> {
         self.check_same_shape(other)?;
+        let _prof = KernelScope::enter(KernelKind::Reduction, || Work::reduce(self.data.len()));
         Ok(self
             .data
             .iter()

@@ -1,0 +1,130 @@
+//! Contract tests for `scripts/bench_diff`, the CI perf-regression gate:
+//! exit 0 within threshold, exit 1 on a regression beyond it, per-bench
+//! overrides, and a markdown report either way. The fixtures under
+//! `scripts/fixtures/` include a 20% median regression on the serve
+//! throughput bench — the exact failure the gate exists to catch.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn fixture(name: &str) -> String {
+    repo_root()
+        .join("scripts/fixtures")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn scratch_report(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("adv_bench_diff_{tag}_{}.md", std::process::id()))
+}
+
+fn run_diff(args: &[&str]) -> Output {
+    Command::new("sh")
+        .arg(repo_root().join("scripts/bench_diff"))
+        .args(args)
+        .current_dir(repo_root())
+        .output()
+        .expect("bench_diff must be runnable via sh")
+}
+
+fn read_and_remove(path: &Path) -> String {
+    let content = std::fs::read_to_string(path).expect("report must exist");
+    std::fs::remove_file(path).ok();
+    content
+}
+
+#[test]
+fn within_threshold_passes_and_reports_new_and_removed() {
+    let report = scratch_report("ok");
+    let out = run_diff(&[
+        &fixture("bench_baseline.json"),
+        &fixture("bench_ok.json"),
+        "--report",
+        &report.to_string_lossy(),
+    ]);
+    assert!(
+        out.status.success(),
+        "expected pass, got {:?}\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no regressions"), "{stdout}");
+    let md = read_and_remove(&report);
+    assert!(md.contains("| benchmark |"), "{md}");
+    // New and removed benches are reported, never gated.
+    assert!(md.contains("new (not gated)"), "{md}");
+    assert!(md.contains("removed (not gated)"), "{md}");
+    assert!(!md.contains("REGRESSION"), "{md}");
+}
+
+#[test]
+fn twenty_percent_regression_fails_the_gate() {
+    let report = scratch_report("regressed");
+    let out = run_diff(&[
+        &fixture("bench_baseline.json"),
+        &fixture("bench_regressed.json"),
+        "--report",
+        &report.to_string_lossy(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a 20% median regression must exit 1\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("regressed beyond threshold"), "{stderr}");
+    let md = read_and_remove(&report);
+    assert!(md.contains("**REGRESSION**"), "{md}");
+    assert!(md.contains("server_b32"), "{md}");
+    assert!(md.contains("+20.0%"), "{md}");
+}
+
+#[test]
+fn per_bench_override_can_absorb_the_regression() {
+    let report = scratch_report("override");
+    let out = run_diff(&[
+        &fixture("bench_baseline.json"),
+        &fixture("bench_regressed.json"),
+        "--override",
+        "serve_throughput_32_samples/server_b32=25",
+        "--report",
+        &report.to_string_lossy(),
+    ]);
+    assert!(
+        out.status.success(),
+        "a +25% override must absorb the +20% regression\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    read_and_remove(&report);
+}
+
+#[test]
+fn tighter_global_threshold_fails_the_ok_candidate() {
+    let report = scratch_report("tight");
+    let out = run_diff(&[
+        &fixture("bench_baseline.json"),
+        &fixture("bench_ok.json"),
+        "--threshold",
+        "2",
+        "--report",
+        &report.to_string_lossy(),
+    ]);
+    // server_b32 moved +5.0% — beyond a 2% threshold.
+    assert_eq!(out.status.code(), Some(1));
+    read_and_remove(&report);
+}
+
+#[test]
+fn missing_files_and_bad_usage_exit_2() {
+    let out = run_diff(&[&fixture("bench_baseline.json")]);
+    assert_eq!(out.status.code(), Some(2), "missing candidate is usage");
+    let out = run_diff(&[&fixture("bench_baseline.json"), "/nonexistent/cand.json"]);
+    assert_eq!(out.status.code(), Some(2), "unreadable candidate");
+}
