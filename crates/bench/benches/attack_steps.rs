@@ -20,7 +20,7 @@ fn ead(iterations: usize, bs: usize) -> ElasticNetAttack {
         rule: DecisionRule::ElasticNet,
         ..EadConfig::default()
     })
-    .unwrap()
+    .expect("ElasticNetAttack::new failed")
 }
 
 fn cw(iterations: usize, bs: usize) -> CarliniWagnerL2 {
@@ -31,7 +31,7 @@ fn cw(iterations: usize, bs: usize) -> CarliniWagnerL2 {
         initial_c: 0.5,
         ..CwConfig::default()
     })
-    .unwrap()
+    .expect("CarliniWagnerL2::new failed")
 }
 
 fn bench_attacks(c: &mut Criterion) {
@@ -42,16 +42,16 @@ fn bench_attacks(c: &mut Criterion) {
     let mut g = c.benchmark_group("attack_runs_b8");
     g.sample_size(10);
     g.bench_function("fgsm", |bench| {
-        let attack = Fgsm::new(0.1).unwrap();
-        bench.iter(|| attack.run(&mut net, black_box(&x), &y).unwrap())
+        let attack = Fgsm::new(0.1).expect("Fgsm::new failed");
+        bench.iter(|| attack.run(&mut net, black_box(&x), &y).expect("attack.run failed"))
     });
     g.bench_function("ead_10it_1bs", |bench| {
         let attack = ead(10, 1);
-        bench.iter(|| attack.run(&mut net, black_box(&x), &y).unwrap())
+        bench.iter(|| attack.run(&mut net, black_box(&x), &y).expect("attack.run failed"))
     });
     g.bench_function("cw_10it_1bs", |bench| {
         let attack = cw(10, 1);
-        bench.iter(|| attack.run(&mut net, black_box(&x), &y).unwrap())
+        bench.iter(|| attack.run(&mut net, black_box(&x), &y).expect("attack.run failed"))
     });
     g.finish();
 }
@@ -67,14 +67,14 @@ fn bench_batched_vs_per_example(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("batched_8", |bench| {
         let attack = ead(10, 1);
-        bench.iter(|| attack.run(&mut net, black_box(&x), &y).unwrap())
+        bench.iter(|| attack.run(&mut net, black_box(&x), &y).expect("attack.run failed"))
     });
     g.bench_function("per_example_8", |bench| {
         let attack = ead(10, 1);
         bench.iter(|| {
             for i in 0..8 {
-                let xi = gather0(&x, &[i]).unwrap();
-                attack.run(&mut net, black_box(&xi), &y[i..=i]).unwrap();
+                let xi = gather0(&x, &[i]).expect("gather0 failed");
+                attack.run(&mut net, black_box(&xi), &y[i..=i]).expect("attack.run failed");
             }
         })
     });

@@ -39,19 +39,19 @@ fn calibrated_defense() -> Arc<MagnetDefense> {
             aes.ae_two.clone(),
             ReconstructionNorm::L1,
         )),
-        Box::new(JsdDetector::new(aes.ae_one.clone(), clf.clone(), 10.0).unwrap()),
-        Box::new(JsdDetector::new(aes.ae_one.clone(), clf.clone(), 40.0).unwrap()),
+        Box::new(JsdDetector::new(aes.ae_one.clone(), clf.clone(), 10.0).expect("JsdDetector::new failed")),
+        Box::new(JsdDetector::new(aes.ae_one.clone(), clf.clone(), 40.0).expect("JsdDetector::new failed")),
     ];
     let mut defense = MagnetDefense::new("serve-bench-d-jsd", detectors, aes.ae_one.clone(), clf);
     defense
         .calibrate_detectors(&image_batch(64, 1, 28), 0.02)
-        .unwrap();
+        .expect("calibrate_detectors failed");
     Arc::new(defense)
 }
 
 fn corpus_items() -> Vec<Tensor> {
     let x = image_batch(CORPUS, 1, 28);
-    (0..CORPUS).map(|i| x.index_axis0(i).unwrap()).collect()
+    (0..CORPUS).map(|i| x.index_axis0(i).expect("x.index_axis0 failed")).collect()
 }
 
 fn server(
@@ -71,7 +71,7 @@ fn server(
             ..ServeConfig::default()
         },
     )
-    .unwrap()
+    .expect("ServeEngine::start failed")
 }
 
 fn bench_serve_throughput(c: &mut Criterion) {
@@ -84,11 +84,11 @@ fn bench_serve_throughput(c: &mut Criterion) {
     g.bench_function("serial_per_sample", |bench| {
         let singles: Vec<Tensor> = items
             .iter()
-            .map(|t| Tensor::stack(std::slice::from_ref(t)).unwrap())
+            .map(|t| Tensor::stack(std::slice::from_ref(t)).expect("Tensor::stack failed"))
             .collect();
         bench.iter(|| {
             for x in &singles {
-                black_box(defense.classify(black_box(x), DefenseScheme::Full).unwrap());
+                black_box(defense.classify(black_box(x), DefenseScheme::Full).expect("defense.classify failed"));
             }
         })
     });
@@ -99,10 +99,10 @@ fn bench_serve_throughput(c: &mut Criterion) {
             bench.iter(|| {
                 let pending: Vec<_> = items
                     .iter()
-                    .map(|t| engine.submit(t.clone()).unwrap())
+                    .map(|t| engine.submit(t.clone()).expect("engine.submit failed"))
                     .collect();
                 for p in pending {
-                    black_box(p.wait().unwrap());
+                    black_box(p.wait().expect("p.wait failed"));
                 }
             })
         });
@@ -121,10 +121,10 @@ fn bench_serve_throughput(c: &mut Criterion) {
         bench.iter(|| {
             let pending: Vec<_> = items
                 .iter()
-                .map(|t| engine.submit(t.clone()).unwrap())
+                .map(|t| engine.submit(t.clone()).expect("engine.submit failed"))
                 .collect();
             for p in pending {
-                black_box(p.wait().unwrap());
+                black_box(p.wait().expect("p.wait failed"));
             }
         })
     });
@@ -137,7 +137,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
     let tele_dir =
         std::env::temp_dir().join(format!("adv_bench_serve_telemetry_{}", std::process::id()));
     std::fs::remove_dir_all(&tele_dir).ok();
-    let recorder = TelemetryRecorder::start(RecorderConfig::new(&tele_dir)).unwrap();
+    let recorder = TelemetryRecorder::start(RecorderConfig::new(&tele_dir)).expect("TelemetryRecorder::start failed");
     let engine = ServeEngine::start(
         defense.clone(),
         ServeConfig {
@@ -150,20 +150,20 @@ fn bench_serve_throughput(c: &mut Criterion) {
             ..ServeConfig::default()
         },
     )
-    .unwrap();
+    .expect("ServeEngine::start failed");
     g.bench_function("server_b32_telemetry", |bench| {
         bench.iter(|| {
             let pending: Vec<_> = items
                 .iter()
-                .map(|t| engine.submit(t.clone()).unwrap())
+                .map(|t| engine.submit(t.clone()).expect("engine.submit failed"))
                 .collect();
             for p in pending {
-                black_box(p.wait().unwrap());
+                black_box(p.wait().expect("p.wait failed"));
             }
         })
     });
     engine.shutdown();
-    recorder.shutdown().unwrap();
+    recorder.shutdown().expect("recorder.shutdown failed");
     std::fs::remove_dir_all(&tele_dir).ok();
 
     // Profiler compiled in but switched off: every kernel/stage scope and
@@ -175,10 +175,10 @@ fn bench_serve_throughput(c: &mut Criterion) {
         bench.iter(|| {
             let pending: Vec<_> = items
                 .iter()
-                .map(|t| engine.submit(t.clone()).unwrap())
+                .map(|t| engine.submit(t.clone()).expect("engine.submit failed"))
                 .collect();
             for p in pending {
-                black_box(p.wait().unwrap());
+                black_box(p.wait().expect("p.wait failed"));
             }
         })
     });

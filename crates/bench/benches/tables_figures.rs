@@ -29,7 +29,7 @@ fn bench_evaluation_point(c: &mut Criterion) {
     );
     defense
         .calibrate_detectors(&image_batch(64, 1, 28), 0.02)
-        .unwrap();
+        .expect("calibrate_detectors failed");
 
     let x = image_batch(4, 1, 28);
     let y = labels(4);
@@ -42,16 +42,16 @@ fn bench_evaluation_point(c: &mut Criterion) {
         rule: DecisionRule::ElasticNet,
         ..EadConfig::default()
     })
-    .unwrap();
+    .expect("ElasticNetAttack::new failed");
 
     let mut g = c.benchmark_group("evaluation_point");
     g.sample_size(10);
     g.bench_function("craft_and_evaluate_b4", |bench| {
         bench.iter(|| {
-            let outcome = attack.run(&mut clf, black_box(&x), &y).unwrap();
+            let outcome = attack.run(&mut clf, black_box(&x), &y).expect("attack.run failed");
             defense
                 .accuracy(&outcome.adversarial, &y, adv_magnet::DefenseScheme::Full)
-                .unwrap()
+                .expect("accuracy failed")
         })
     });
     g.finish();

@@ -15,13 +15,13 @@ fn bench_matmul(c: &mut Criterion) {
     let b = Tensor::from_fn(Shape::matrix(128, 128), |i| (i % 7) as f32 * 0.1);
     let mut g = c.benchmark_group("matmul_128");
     g.bench_function("a_b", |bench| {
-        bench.iter(|| matmul(black_box(&a), black_box(&b)).unwrap())
+        bench.iter(|| matmul(black_box(&a), black_box(&b)).expect("matmul failed"))
     });
     g.bench_function("at_b", |bench| {
-        bench.iter(|| matmul_at_b(black_box(&a), black_box(&b)).unwrap())
+        bench.iter(|| matmul_at_b(black_box(&a), black_box(&b)).expect("matmul_at_b failed"))
     });
     g.bench_function("a_bt", |bench| {
-        bench.iter(|| matmul_a_bt(black_box(&a), black_box(&b)).unwrap())
+        bench.iter(|| matmul_a_bt(black_box(&a), black_box(&b)).expect("matmul_a_bt failed"))
     });
     g.finish();
 }
@@ -31,18 +31,18 @@ fn bench_conv(c: &mut Criterion) {
     let spec = Conv2dSpec::same(1, 8, 3);
     let w = Tensor::from_fn(Shape::new(vec![8, 1, 3, 3]), |i| (i % 5) as f32 * 0.1 - 0.2);
     let b = Tensor::zeros(Shape::vector(8));
-    let y = conv2d(&x, &w, &b, &spec).unwrap();
+    let y = conv2d(&x, &w, &b, &spec).expect("conv2d failed");
     let dy = Tensor::ones(y.shape().clone());
 
     let mut g = c.benchmark_group("conv2d_28x28_b8");
     g.bench_function("im2col", |bench| {
-        bench.iter(|| im2col(black_box(&x), &spec).unwrap())
+        bench.iter(|| im2col(black_box(&x), &spec).expect("im2col failed"))
     });
     g.bench_function("forward", |bench| {
-        bench.iter(|| conv2d(black_box(&x), &w, &b, &spec).unwrap())
+        bench.iter(|| conv2d(black_box(&x), &w, &b, &spec).expect("conv2d failed"))
     });
     g.bench_function("backward", |bench| {
-        bench.iter(|| conv2d_backward(black_box(&x), &w, &dy, &spec).unwrap())
+        bench.iter(|| conv2d_backward(black_box(&x), &w, &dy, &spec).expect("conv2d_backward failed"))
     });
     g.finish();
 }
@@ -52,13 +52,13 @@ fn bench_pool_and_norms(c: &mut Criterion) {
     let y = image_batch(8, 3, 16);
     let mut g = c.benchmark_group("pool_and_norms");
     g.bench_function("avg_pool2d", |bench| {
-        bench.iter(|| avg_pool2d(black_box(&x), &Pool2dSpec::square(2)).unwrap())
+        bench.iter(|| avg_pool2d(black_box(&x), &Pool2dSpec::square(2)).expect("avg_pool2d failed"))
     });
     g.bench_function("l1_dist", |bench| {
-        bench.iter(|| norms::l1_dist(black_box(&x), black_box(&y)).unwrap())
+        bench.iter(|| norms::l1_dist(black_box(&x), black_box(&y)).expect("norms::l1_dist failed"))
     });
     g.bench_function("elastic_net_dist", |bench| {
-        bench.iter(|| norms::elastic_net_dist(black_box(&x), black_box(&y), 0.05).unwrap())
+        bench.iter(|| norms::elastic_net_dist(black_box(&x), black_box(&y), 0.05).expect("norms::elastic_net_dist failed"))
     });
     g.finish();
 }

@@ -118,19 +118,13 @@ impl FaultInjector {
         let Some(state) = self.sites.get(site) else {
             return (FaultAction::None, 0);
         };
-        // lint-ok(ordering-justified): the hit counter is an independent
-        // sequence number per site; no other data is published through it,
-        // so fetch_add only needs atomicity.
         let hit = state.hits.fetch_add(1, Ordering::Relaxed);
-        // lint-ok(ordering-justified): statistics counter, atomicity only.
         self.decisions.fetch_add(1, Ordering::Relaxed);
         if let Some(max) = state.spec.max_faults() {
             // The cap check races the increment below under concurrent
             // callers, so a site can briefly overshoot its cap by at most
             // one fault per concurrent thread; single-threaded replays (and
             // the deterministic tests) are exact.
-            // lint-ok(ordering-justified): approximate cap by design (see
-            // comment above); a stale read only widens the overshoot bound.
             if state.injected.load(Ordering::Relaxed) >= max {
                 return (FaultAction::None, hit);
             }
@@ -147,7 +141,6 @@ impl FaultInjector {
             FaultAction::None
         };
         if action != FaultAction::None {
-            // lint-ok(ordering-justified): see the cap comment above.
             state.injected.fetch_add(1, Ordering::Relaxed);
             let counter = match action {
                 FaultAction::Delay(_) => &self.delays,

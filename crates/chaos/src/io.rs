@@ -101,8 +101,6 @@ impl IoFaultPlan {
 
     /// What the plan has injected so far.
     pub fn stats(&self) -> IoFaultStats {
-        // lint-ok(ordering-justified): independent monotone counters read
-        // for reporting; no cross-field consistency is claimed or needed.
         let (writes, torn, bit_flips, transient_errors) = (
             self.hits.load(Ordering::Relaxed),
             self.torn.load(Ordering::Relaxed),
@@ -125,23 +123,18 @@ impl IoFaultHook for IoFaultPlan {
                 return WriteFault::None;
             }
         }
-        // lint-ok(ordering-justified): the hit index only needs to be unique
-        // per write; the schedule's multiset of decisions is interleaving-free.
         let n = self.hits.fetch_add(1, Ordering::Relaxed);
         let draw = crate::inject::unit(self.seed, site_hash("store/write"), n);
         let aux = crate::inject::unit(self.seed, site_hash("store/write-aux"), n);
         if draw < self.torn_rate {
-            // lint-ok(ordering-justified): independent stats counter.
             self.torn.fetch_add(1, Ordering::Relaxed);
             // Tear strictly inside the image so something is always missing.
             let k = (aux * len as f64) as usize;
             WriteFault::TornWrite(k.min(len.saturating_sub(1)))
         } else if draw < self.torn_rate + self.flip_rate {
-            // lint-ok(ordering-justified): independent stats counter.
             self.flips.fetch_add(1, Ordering::Relaxed);
             WriteFault::BitFlip((aux * (len.max(1) * 8) as f64) as usize)
         } else if draw < self.torn_rate + self.flip_rate + self.error_rate {
-            // lint-ok(ordering-justified): independent stats counter.
             self.errors.fetch_add(1, Ordering::Relaxed);
             WriteFault::TransientError
         } else {

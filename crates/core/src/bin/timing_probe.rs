@@ -16,6 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("scale: {:?}", zoo.scale());
 
     for scenario in [Scenario::Mnist, Scenario::Cifar] {
+        // lint-ok(gated-clocks): wall-clock measurement is this probe's purpose
         let t0 = Instant::now();
         let bundle = {
             let _span = Span::enter("probe/bundle");
@@ -28,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             bundle.clean_accuracy * 100.0
         );
 
+        // lint-ok(gated-clocks): wall-clock measurement is this probe's purpose
         let t0 = Instant::now();
         {
             let _span = Span::enter("probe/defense");
@@ -39,6 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             t0.elapsed()
         );
 
+        // lint-ok(gated-clocks): wall-clock measurement is this probe's purpose
         let t0 = Instant::now();
         let mut runner = SweepRunner::new(&zoo, scenario)?;
         let kind = AttackKind::Ead {
@@ -57,6 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             outcome.success_rate() * 100.0
         );
 
+        // lint-ok(gated-clocks): wall-clock measurement is this probe's purpose
         let t0 = Instant::now();
         let cw = {
             let _span = Span::enter("probe/cw");

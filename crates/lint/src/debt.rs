@@ -1,0 +1,142 @@
+//! Suppression-debt baseline: `lint_debt.json`.
+//!
+//! Every `// lint-ok(<rule>): <reason>` is technical debt — justified,
+//! but debt. The committed `lint_debt.json` at the workspace root records
+//! how much of it the team has consciously accepted, per rule. A check run
+//! compares the live per-rule allow counts against the baseline and fails
+//! (`lint-debt` findings) when any rule's count *grew*: new suppressions
+//! require either fixing the site or deliberately updating the baseline
+//! with `adv-lint debt --write` — a diff a reviewer will see. Counts
+//! shrinking is progress and never fails; refresh the baseline to ratchet
+//! it down.
+
+use crate::diagnostics::Finding;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// File name of the committed baseline at the workspace root.
+pub const DEBT_FILE: &str = "lint_debt.json";
+
+/// Reads the committed baseline. `None` when no `lint_debt.json` exists
+/// (fixture workspaces and fresh checkouts are not debt-enforced).
+pub fn load_baseline(root: &Path) -> Option<BTreeMap<String, usize>> {
+    let text = std::fs::read_to_string(root.join(DEBT_FILE)).ok()?;
+    Some(parse_baseline(&text))
+}
+
+/// Parses the baseline's flat `{"rule": count, ...}` object. Unparseable
+/// entries are skipped — a malformed baseline then under-reports, and the
+/// growth check fails loudly rather than silently passing.
+fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    // Flat object: split on '"' to get keys, read the number after the ':'.
+    let mut rest = text;
+    while let Some(q0) = rest.find('"') {
+        rest = &rest[q0 + 1..];
+        let Some(q1) = rest.find('"') else { break };
+        let key = &rest[..q1];
+        rest = &rest[q1 + 1..];
+        let Some(colon) = rest.find(':') else { break };
+        let after = rest[colon + 1..].trim_start();
+        let digits: String = after.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if let Ok(n) = digits.parse::<usize>() {
+            if !key.is_empty() {
+                out.insert(key.to_string(), n);
+            }
+        }
+        rest = &rest[colon + 1..];
+    }
+    out
+}
+
+/// Renders live counts as the baseline file's content (sorted, one rule
+/// per line, so diffs are reviewable).
+pub fn render_baseline(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from("{\n");
+    let entries: Vec<String> = counts
+        .iter()
+        .filter(|(_, n)| **n > 0)
+        .map(|(rule, n)| format!("  \"{rule}\": {n}"))
+        .collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n}\n");
+    out
+}
+
+/// Compares live counts against the baseline, emitting one `lint-debt`
+/// finding per rule whose suppression count grew.
+pub fn check_debt(
+    root: &Path,
+    live: &BTreeMap<String, usize>,
+    out: &mut Vec<Finding>,
+) {
+    let Some(baseline) = load_baseline(root) else {
+        return;
+    };
+    for (rule, &count) in live {
+        let allowed = baseline.get(rule).copied().unwrap_or(0);
+        if count > allowed {
+            out.push(Finding {
+                rule: "lint-debt",
+                path: DEBT_FILE.to_string(),
+                line: 1,
+                column: 1,
+                width: 1,
+                message: format!(
+                    "`lint-ok({rule})` count grew to {count} (baseline {allowed}) — \
+                     suppression debt increased without a baseline update"
+                ),
+                snippet: String::new(),
+                help: "fix the newly suppressed sites, or consciously accept the debt \
+                       with `cargo run -p adv-lint -- debt --write` and commit the diff"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_roundtrip() {
+        let mut counts = BTreeMap::new();
+        counts.insert("ordering-justified".to_string(), 40);
+        counts.insert("gated-clocks".to_string(), 28);
+        counts.insert("never-used".to_string(), 0);
+        let text = render_baseline(&counts);
+        let parsed = parse_baseline(&text);
+        assert_eq!(parsed.get("ordering-justified"), Some(&40));
+        assert_eq!(parsed.get("gated-clocks"), Some(&28));
+        assert_eq!(parsed.get("never-used"), None, "zero entries are dropped");
+    }
+
+    #[test]
+    fn growth_is_a_finding_shrink_is_not() {
+        let dir = std::env::temp_dir().join("adv-lint-debt-test");
+        let _ = std::fs::create_dir_all(&dir);
+        std::fs::write(
+            dir.join(DEBT_FILE),
+            "{\n  \"gated-clocks\": 5,\n  \"no-panic-lib\": 3\n}\n",
+        )
+        .expect("temp baseline must be writable");
+        let mut live = BTreeMap::new();
+        live.insert("gated-clocks".to_string(), 6);
+        live.insert("no-panic-lib".to_string(), 2);
+        let mut out = Vec::new();
+        check_debt(&dir, &live, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("gated-clocks"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_baseline_is_not_enforced() {
+        let mut live = BTreeMap::new();
+        live.insert("x".to_string(), 100);
+        let mut out = Vec::new();
+        check_debt(Path::new("/nonexistent-debt-root"), &live, &mut out);
+        assert!(out.is_empty());
+    }
+}

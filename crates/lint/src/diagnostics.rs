@@ -57,7 +57,7 @@ pub fn render_text(findings: &[Finding]) -> String {
 
 /// Serializes the report as one JSON object (no external deps; same
 /// hand-rolled style as the `adv-obs` exporters).
-pub fn render_json(findings: &[Finding], files_checked: usize, allows: usize) -> String {
+pub fn render_json(findings: &[Finding], files_checked: usize, skipped: usize, allows: usize) -> String {
     let mut out = String::from("{\"version\":1,\"findings\":[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
@@ -76,8 +76,9 @@ pub fn render_json(findings: &[Finding], files_checked: usize, allows: usize) ->
     }
     let _ = write!(
         out,
-        "],\"summary\":{{\"files_checked\":{},\"findings\":{},\"allows\":{}}}}}",
+        "],\"summary\":{{\"files_checked\":{},\"skipped\":{},\"findings\":{},\"allows\":{}}}}}",
         files_checked,
+        skipped,
         findings.len(),
         allows
     );
@@ -136,19 +137,21 @@ mod tests {
 
     #[test]
     fn json_report_shape() {
-        let json = render_json(&[sample()], 7, 3);
+        let json = render_json(&[sample()], 7, 2, 3);
         assert!(json.contains("\"version\":1"), "{json}");
         assert!(json.contains("\"rule\":\"no-panic-lib\""), "{json}");
         assert!(json.contains("\"line\":42"), "{json}");
         assert!(
-            json.contains("\"summary\":{\"files_checked\":7,\"findings\":1,\"allows\":3}"),
+            json.contains(
+                "\"summary\":{\"files_checked\":7,\"skipped\":2,\"findings\":1,\"allows\":3}"
+            ),
             "{json}"
         );
     }
 
     #[test]
     fn empty_report_is_valid() {
-        let json = render_json(&[], 0, 0);
+        let json = render_json(&[], 0, 0, 0);
         assert!(json.starts_with("{\"version\":1,\"findings\":[]"), "{json}");
     }
 }

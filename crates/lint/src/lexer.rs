@@ -343,4 +343,32 @@ mod tests {
         assert_eq!(s.comments.len(), 1);
         assert_eq!(s.comments[0].text, "// tail");
     }
+    #[test]
+    fn brace_and_slash_char_literals_do_not_confuse_regions() {
+        // `'{'`/`'}'` must not look like braces to the test-region brace
+        // matcher, and `'/'` must not open a comment.
+        let s = scrub("let open = '{'; let close = '}'; let sl = '/'; f(); // tail");
+        assert!(!s.code.contains('{'));
+        assert!(!s.code.contains('}'));
+        assert!(s.code.contains("f();"));
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].text, "// tail");
+    }
+
+    #[test]
+    fn escaped_quote_char_literals_terminate() {
+        let src = "let c = '\\''; g(); let q = b'\\''; h();";
+        let s = scrub(src);
+        assert!(s.code.contains("g();"), "{:?}", s.code);
+        assert!(s.code.contains("h();"), "{:?}", s.code);
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_skip_embedded_terminators() {
+        // `"#` inside an `r##` string is content, not a terminator.
+        let src = "let s = r##\"one \"# unwrap() \"## ; call();";
+        let s = scrub(src);
+        assert!(!s.code.contains("unwrap"), "{:?}", s.code);
+        assert!(s.code.contains("call();"), "{:?}", s.code);
+    }
 }

@@ -1,47 +1,70 @@
-//! adv-lint: the workspace invariant linter.
+//! adv-lint: the workspace invariant linter — a two-pass, workspace-wide
+//! analysis.
 //!
 //! Generic clippy cannot know that this repo promises panic-free library
 //! hot paths, a written rationale for every atomic ordering, clock reads
-//! only where timing is the feature, and typed error enums on public
-//! fallible APIs. This crate enforces those invariants with a token-level
-//! static analysis: a comment/string-aware lexer ([`lexer`]), a per-file
-//! model with test-region and allowlist maps ([`source`]), and a rule
-//! engine ([`rules`]) producing rustc-style diagnostics and a
-//! machine-readable JSON report ([`diagnostics`]).
+//! only where timing is the feature, typed error enums on public fallible
+//! APIs, `SAFETY:` contracts on every `unsafe`, and allocation-free
+//! measured kernel regions. This crate enforces those invariants with a
+//! token-level static analysis in two passes:
+//!
+//! - **Pass 1** ([`table`]) walks every first-party target (library code,
+//!   binaries, benches, examples) and builds a workspace symbol table:
+//!   atomic field declarations and every load/store/RMW site keyed by
+//!   field, `unsafe` occurrences and their `SAFETY:` comments,
+//!   `KernelKind` variants vs `KernelScope::enter` call sites, and metric
+//!   registrations vs the DESIGN.md schema.
+//! - **Pass 2** runs the per-file rules ([`rules`]) *and* the cross-file
+//!   rules ([`rules::ws`]) over that table: `atomic-protocol`,
+//!   `unsafe-audit`, `no-alloc-in-kernel`, `dead-slot`, `dead-metric`,
+//!   plus the suppression-debt ratchet ([`debt`]).
+//!
+//! The building blocks are a comment/string-aware lexer ([`lexer`]), a
+//! per-file model with test-region and allowlist maps ([`source`]), and a
+//! diagnostics layer producing rustc-style text and a machine-readable
+//! JSON report ([`diagnostics`]).
 //!
 //! Run it over the workspace with `cargo run -p adv-lint -- check`
 //! (`--format json` for the report CI uploads). A finding is suppressed
 //! only by an allowlist comment that names the rule *and* gives a reason:
 //!
 //! ```text
-//! // lint-ok(ordering-justified): independent counter; no data is published
-//! hits.fetch_add(1, Ordering::Relaxed);
+//! // lint-ok(atomic-protocol): cross-thread handoff documented in DESIGN.md
+//! self.state.store(OPEN, Ordering::Release);
 //! ```
 //!
 //! Allowlist comments with a missing reason, or naming an unknown rule, are
-//! themselves findings (`lint-ok-syntax`) — a stale or lazy allowlist fails
-//! the build just like the violation it hides.
+//! themselves findings (`lint-ok-syntax`), and the per-rule allow counts
+//! are ratcheted against the committed `lint_debt.json` baseline
+//! (`lint-debt`) — a stale or lazy allowlist fails the build just like the
+//! violation it hides. The symbol table also works *for* the allowlist:
+//! atomic fields whose every access is a `Relaxed` pure counter are proven
+//! benign and need no justification at all (stale ones are flagged).
 //!
 //! The analysis is deliberately token-level rather than type-aware (the
 //! offline build environment has no `syn`/`rustc` driver): every rule
 //! matches surface syntax that cannot be confused by context once strings
-//! and comments are scrubbed. The fixture suite under `tests/fixtures/`
-//! pins each rule's behavior; the `workspace_is_clean` integration test
+//! and comments are scrubbed. The fixture suites under `tests/fixtures/`
+//! pin each rule's behavior; the `workspace_is_clean` integration test
 //! pins the whole workspace at zero findings.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod debt;
 pub mod diagnostics;
 pub mod lexer;
 pub mod rules;
 pub mod source;
+pub mod table;
 pub mod workspace;
 
 pub use diagnostics::{render_json, render_text, Finding};
+pub use table::SymbolTable;
 
-use rules::{all_rules, FileCtx};
+use rules::{all_rule_ids, all_rules, FileCtx};
 use source::SourceFile;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// Errors from the linter itself (not findings).
@@ -147,8 +170,13 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of files scanned.
     pub files_checked: usize,
+    /// Number of `.rs` files under the root that the walk did *not* scan
+    /// (tests, shims, fixtures) — printed so coverage gaps stay visible.
+    pub skipped: usize,
     /// Number of well-formed allowlist entries seen.
     pub allows: usize,
+    /// Distinct allowlist comments per rule (the suppression-debt counts).
+    pub allows_by_rule: BTreeMap<String, usize>,
 }
 
 impl Report {
@@ -160,18 +188,20 @@ impl Report {
     /// Renders the report as text or JSON.
     pub fn render(&self, json: bool) -> String {
         if json {
-            render_json(&self.findings, self.files_checked, self.allows)
+            render_json(&self.findings, self.files_checked, self.skipped, self.allows)
         } else if self.findings.is_empty() {
             format!(
-                "adv-lint: clean — {} files checked, {} allowlisted sites\n",
-                self.files_checked, self.allows
+                "adv-lint: clean — {} files checked, {} skipped \
+                 (tests/shims/fixtures), {} allowlisted sites\n",
+                self.files_checked, self.skipped, self.allows
             )
         } else {
             format!(
-                "{}adv-lint: {} finding(s) in {} files checked\n",
+                "{}adv-lint: {} finding(s) in {} files checked ({} skipped)\n",
                 render_text(&self.findings),
                 self.findings.len(),
-                self.files_checked
+                self.files_checked,
+                self.skipped
             )
         }
     }
@@ -194,18 +224,32 @@ pub fn run_check(root: &Path) -> Result<Report, LintError> {
 /// See [`run_check`].
 pub fn run_check_with(root: &Path, config: &LintConfig) -> Result<Report, LintError> {
     let rules = all_rules();
-    let known: Vec<&'static str> = rules.iter().map(|r| r.id()).collect();
+    let known = all_rule_ids();
     let mut findings = Vec::new();
     let mut files_checked = 0usize;
     let mut allows = 0usize;
+    let mut allows_by_rule: BTreeMap<String, usize> = BTreeMap::new();
 
+    // Load everything first: pass 1 (the symbol table) needs the whole
+    // workspace in view before any cross-file rule can run.
+    let mut loaded: Vec<(workspace::CrateSrc, Vec<SourceFile>)> = Vec::new();
     for krate in workspace::discover(root)? {
         let files = workspace::load_sources(&krate)?;
+        loaded.push((krate, files));
+    }
+    let table_input: Vec<(&str, &[SourceFile])> = loaded
+        .iter()
+        .map(|(k, f)| (k.name.as_str(), f.as_slice()))
+        .collect();
+    let symbols = table::SymbolTable::build(root, &table_input);
+
+    // Pass 2a: per-file rules.
+    for (krate, files) in &loaded {
         let ctx = FileCtx {
             crate_name: &krate.name,
             config,
         };
-        for file in &files {
+        for file in files {
             files_checked += 1;
             // A statement-scoped allow appears once per covered line; count
             // distinct comments, not coverage.
@@ -216,6 +260,9 @@ pub fn run_check_with(root: &Path, config: &LintConfig) -> Result<Report, LintEr
                 .map(|a| (a.comment_line, a.rule.as_str()))
                 .collect();
             allows += distinct.len();
+            for (_, rule) in &distinct {
+                *allows_by_rule.entry((*rule).to_string()).or_insert(0) += 1;
+            }
             check_allow_comments(file, &known, &mut findings);
             for rule in &rules {
                 if rule.applies(&ctx) {
@@ -224,14 +271,66 @@ pub fn run_check_with(root: &Path, config: &LintConfig) -> Result<Report, LintEr
             }
         }
     }
+
+    // The symbol table proves some ordering sites benign: fields whose
+    // every access is a Relaxed pure counter need no justification, so
+    // `ordering-justified` findings on those exact tokens are dropped.
+    findings.retain(|f| {
+        !(f.rule == "ordering-justified"
+            && f.column > 0
+            && symbols
+                .exempt_ordering_tokens
+                .contains(&(f.path.clone(), f.line, f.column - 1)))
+    });
+
+    // Pass 2b: workspace-wide rules over the symbol table.
+    let ws_ctx = rules::WsCtx {
+        files: loaded
+            .iter()
+            .flat_map(|(_, files)| files.iter())
+            .map(|f| (f.rel.as_str(), f))
+            .collect(),
+        design_lines: std::fs::read_to_string(root.join("DESIGN.md"))
+            .map(|t| t.lines().map(str::to_string).collect())
+            .unwrap_or_default(),
+    };
+    rules::check_workspace(&symbols, &ws_ctx, &mut findings);
+
+    // The suppression-debt ratchet against the committed baseline.
+    debt::check_debt(root, &allows_by_rule, &mut findings);
+
+    let skipped = workspace::count_rs_files(root)?.saturating_sub(files_checked);
+
     findings.sort_by(|a, b| {
         (&a.path, a.line, a.column, a.rule).cmp(&(&b.path, b.line, b.column, b.rule))
     });
     Ok(Report {
         findings,
         files_checked,
+        skipped,
         allows,
+        allows_by_rule,
     })
+}
+
+/// Builds just the pass-1 symbol table for the workspace at `root`
+/// (used by the `workspace_symbol_table` integration test and exploratory
+/// tooling; `run_check` builds its own).
+///
+/// # Errors
+///
+/// Propagates [`LintError`] from discovery and file loading.
+pub fn build_symbol_table(root: &Path) -> Result<table::SymbolTable, LintError> {
+    let mut loaded: Vec<(workspace::CrateSrc, Vec<SourceFile>)> = Vec::new();
+    for krate in workspace::discover(root)? {
+        let files = workspace::load_sources(&krate)?;
+        loaded.push((krate, files));
+    }
+    let table_input: Vec<(&str, &[SourceFile])> = loaded
+        .iter()
+        .map(|(k, f)| (k.name.as_str(), f.as_slice()))
+        .collect();
+    Ok(table::SymbolTable::build(root, &table_input))
 }
 
 /// Reports malformed allowlist comments (`lint-ok-syntax`): a missing

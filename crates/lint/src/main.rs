@@ -2,14 +2,19 @@
 //!
 //! ```text
 //! adv-lint check [--root DIR] [--format text|json] [--out FILE]
+//! adv-lint debt  [--root DIR] [--write]
 //! adv-lint rules
 //! ```
+//!
+//! `debt` prints the live per-rule `lint-ok` counts in the baseline format;
+//! `--write` updates `lint_debt.json` at the root (the conscious act the
+//! `lint-debt` rule requires when suppression debt grows).
 //!
 //! Exit codes: `0` clean, `1` findings, `2` usage or I/O error — so CI can
 //! distinguish "violations" from "the linter itself broke".
 
-use adv_lint::rules::all_rules;
-use adv_lint::{run_check, LintError};
+use adv_lint::rules::{all_rules, WS_RULES};
+use adv_lint::{debt, run_check, LintError};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -17,6 +22,7 @@ struct Args {
     command: String,
     root: PathBuf,
     json: bool,
+    write: bool,
     out: Option<PathBuf>,
 }
 
@@ -25,12 +31,16 @@ fn parse_args(argv: &[String]) -> Result<Args, LintError> {
         command: String::new(),
         root: PathBuf::from("."),
         json: false,
+        write: false,
         out: None,
     };
     let mut it = argv.iter();
     args.command = it.next().cloned().unwrap_or_default();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--write" => {
+                args.write = true;
+            }
             "--root" => {
                 let value = it
                     .next()
@@ -66,7 +76,7 @@ fn parse_args(argv: &[String]) -> Result<Args, LintError> {
 }
 
 fn usage() -> &'static str {
-    "usage: adv-lint <check|rules> [--root DIR] [--format text|json] [--out FILE]"
+    "usage: adv-lint <check|debt|rules> [--root DIR] [--format text|json] [--out FILE] [--write]"
 }
 
 fn main() -> ExitCode {
@@ -80,15 +90,41 @@ fn main() -> ExitCode {
     };
     match args.command.as_str() {
         "rules" => {
+            println!("per-file rules:");
             for rule in all_rules() {
-                println!("{:<20} {}", rule.id(), rule.summary());
+                println!("  {:<20} {}", rule.id(), rule.summary());
             }
+            println!("workspace-wide rules (two-pass, over the symbol table):");
+            for (id, summary) in WS_RULES {
+                println!("  {id:<20} {summary}");
+            }
+            println!("engine checks:");
             println!(
-                "{:<20} allowlist comments must name a known rule and give a reason",
+                "  {:<20} allowlist comments must name a known rule and give a reason",
                 "lint-ok-syntax"
             );
             ExitCode::SUCCESS
         }
+        "debt" => match run_check(&args.root) {
+            Ok(report) => {
+                let rendered = debt::render_baseline(&report.allows_by_rule);
+                if args.write {
+                    let path = args.root.join(debt::DEBT_FILE);
+                    if let Err(e) = std::fs::write(&path, &rendered) {
+                        eprintln!("adv-lint: cannot write {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                    println!("adv-lint: baseline written to {}", path.display());
+                } else {
+                    print!("{rendered}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("adv-lint: {e}");
+                ExitCode::from(2)
+            }
+        },
         "check" => match run_check(&args.root) {
             Ok(report) => {
                 let rendered = report.render(args.json);

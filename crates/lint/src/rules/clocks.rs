@@ -7,8 +7,14 @@
 //! clocks behind an observability gate (`trace_enabled()` /
 //! `metrics_enabled()`) or where timing *is* the feature (the serving
 //! engine's latency accounting, batch deadlines) — and each such site says
-//! so via `// lint-ok(gated-clocks): <reason>`. Binaries are exempt:
-//! measuring wall clock is what probes do.
+//! so via `// lint-ok(gated-clocks): <reason>`.
+//!
+//! Entrypoint targets are covered too, in *every* crate: binaries and
+//! examples must justify each clock read the same way (probes measure wall
+//! clock on purpose — the comment says which purpose), while benches get
+//! `Instant` for free (manual timing loops are what a bench *is*) but
+//! still must justify `SystemTime` — a wall-clock date in a bench is
+//! nondeterminism, not measurement.
 
 use super::{emit, find_word, skip_ws, FileCtx, RawMatch, Rule};
 use crate::diagnostics::Finding;
@@ -29,22 +35,31 @@ impl Rule for GatedClocks {
     }
 
     fn summary(&self) -> &'static str {
-        "`Instant::now` / `SystemTime::now` in library code only behind an \
-         obs gate or with an explicit justification"
+        "`Instant::now` / `SystemTime::now` only behind an obs gate or with \
+         an explicit justification (benches may read `Instant` freely)"
     }
 
-    fn applies(&self, ctx: &FileCtx<'_>) -> bool {
-        ctx.config.clock_crates.iter().any(|c| c == ctx.crate_name)
+    fn applies(&self, _ctx: &FileCtx<'_>) -> bool {
+        // Library scope is gated per crate inside `check`; entrypoint
+        // targets are covered in every crate.
+        true
     }
 
-    fn check(&self, file: &SourceFile, _ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-        if file.kind != FileKind::Lib {
+    fn check(&self, file: &SourceFile, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        if file.kind == FileKind::Lib
+            && !ctx.config.clock_crates.iter().any(|c| c == ctx.crate_name)
+        {
             return;
         }
         for (idx, line) in file.code.iter().enumerate() {
             let lineno = idx + 1;
             let chars: Vec<char> = line.chars().collect();
             for ty in CLOCK_TYPES {
+                // Manual timing loops are a bench's purpose; only wall-clock
+                // dates are suspect there.
+                if file.kind == FileKind::Bench && *ty == "Instant" {
+                    continue;
+                }
                 for col in find_word(line, ty) {
                     // Expect `::now` after the type name.
                     let Some(c1) = skip_ws(&chars, col + ty.len()) else {
@@ -72,8 +87,7 @@ impl Rule for GatedClocks {
                             column: col + 1,
                             width: ty.len() + 5,
                             message: format!(
-                                "`{ty}::now` clock read in library code without a gate \
-                                 or justification"
+                                "`{ty}::now` clock read without a gate or justification"
                             ),
                         },
                         out,
@@ -128,8 +142,39 @@ mod tests {
     }
 
     #[test]
-    fn binaries_are_exempt() {
-        assert!(run_kind("fn main() { Instant::now(); }\n", FileKind::Bin).is_empty());
+    fn binaries_and_examples_need_justification_too() {
+        for kind in [FileKind::Bin, FileKind::Example] {
+            let out = run_kind("fn main() { Instant::now(); }\n", kind);
+            assert_eq!(out.len(), 1, "{kind:?}: {out:?}");
+        }
+        let src = "fn main() {\n    // lint-ok(gated-clocks): probe measures end-to-end latency\n    Instant::now();\n}\n";
+        assert!(run_kind(src, FileKind::Bin).is_empty());
+    }
+
+    #[test]
+    fn benches_get_instant_free_but_not_system_time() {
+        assert!(run_kind("fn b() { Instant::now(); }\n", FileKind::Bench).is_empty());
+        let out = run_kind("fn b() { SystemTime::now(); }\n", FileKind::Bench);
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn entrypoints_are_covered_in_unlisted_crates() {
+        let file = SourceFile::from_source(
+            PathBuf::from("mem.rs"),
+            "src/bin/probe.rs".into(),
+            FileKind::Bin,
+            "fn main() { Instant::now(); }\n",
+        );
+        let config = LintConfig::empty();
+        let ctx = FileCtx {
+            crate_name: "not-a-clock-crate",
+            config: &config,
+        };
+        let mut out = Vec::new();
+        assert!(GatedClocks.applies(&ctx));
+        GatedClocks.check(&file, &ctx, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
     }
 
     #[test]

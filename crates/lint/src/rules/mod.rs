@@ -5,11 +5,13 @@ mod clocks;
 mod error_types;
 mod no_panic;
 mod ordering;
+pub mod ws;
 
 pub use clocks::GatedClocks;
 pub use error_types::CrateErrorTypes;
 pub use no_panic::NoPanicLib;
 pub use ordering::OrderingJustified;
+pub use ws::{check_workspace, WsCtx, WS_RULES};
 
 use crate::diagnostics::Finding;
 use crate::lexer::is_ident_char;
@@ -40,7 +42,8 @@ pub trait Rule {
     fn check(&self, file: &SourceFile, ctx: &FileCtx<'_>, out: &mut Vec<Finding>);
 }
 
-/// The built-in rule set, in reporting order.
+/// The built-in per-file rule set, in reporting order. The workspace-wide
+/// pass-2 rules live in [`ws`] and are listed in [`WS_RULES`].
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(NoPanicLib),
@@ -48,6 +51,15 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(GatedClocks),
         Box::new(CrateErrorTypes),
     ]
+}
+
+/// Every rule id the engine knows — per-file, workspace-wide, and the
+/// engine-level `lint-debt` check — so `lint-ok(<rule>)` comments naming
+/// any of them are well-formed.
+pub fn all_rule_ids() -> Vec<&'static str> {
+    let mut ids: Vec<&'static str> = all_rules().iter().map(|r| r.id()).collect();
+    ids.extend(WS_RULES.iter().map(|(id, _)| *id));
+    ids
 }
 
 /// A raw match produced by a rule before allowlist/test filtering.

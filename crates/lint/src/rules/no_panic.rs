@@ -1,4 +1,5 @@
-//! `no-panic-lib`: no panic paths in library code of the core crates.
+//! `no-panic-lib`: no panic paths in library code of the core crates, and
+//! no *bare* unwraps in any entrypoint target.
 //!
 //! Forbidden in non-test library code: `.unwrap()` / `.expect(..)` (and
 //! their `_err` twins), the `panic!` / `unreachable!` / `todo!` /
@@ -7,6 +8,12 @@
 //! deserves a justification) — bracket indexing, which panics out of
 //! bounds. `debug_assert!`-style checks are fine: they vanish in release
 //! builds and never take down a serving worker.
+//!
+//! Entrypoint targets (binaries, benches, examples — in *every* crate)
+//! run a lighter check: aborting with a message is the legitimate error
+//! strategy for code that owns its process, so `.expect("..")` and
+//! `panic!("..")` pass, but a bare `.unwrap()` / `.unwrap_err()` — which
+//! dies with a line number and no explanation — is still a finding.
 
 use super::{emit, find_word, skip_ws, FileCtx, RawMatch, Rule};
 use crate::diagnostics::Finding;
@@ -33,18 +40,28 @@ impl Rule for NoPanicLib {
     fn summary(&self) -> &'static str {
         "library code of the core crates must not contain panic paths \
          (unwrap/expect, panic-family macros, unchecked indexing in the \
-         concurrency core)"
+         concurrency core); bins/benches/examples everywhere must not use \
+         bare unwrap"
     }
 
-    fn applies(&self, ctx: &FileCtx<'_>) -> bool {
-        ctx.config
-            .no_panic_crates
-            .iter()
-            .any(|c| c == ctx.crate_name)
+    fn applies(&self, _ctx: &FileCtx<'_>) -> bool {
+        // Library scope is gated per crate inside `check`; the entrypoint
+        // check covers every crate.
+        true
     }
 
     fn check(&self, file: &SourceFile, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-        if file.kind != FileKind::Lib {
+        if file.kind.is_entrypoint() {
+            self.check_entrypoint(file, out);
+            return;
+        }
+        if file.kind != FileKind::Lib
+            || !ctx
+                .config
+                .no_panic_crates
+                .iter()
+                .any(|c| c == ctx.crate_name)
+        {
             return;
         }
         let check_indexing = ctx
@@ -117,6 +134,46 @@ impl Rule for NoPanicLib {
                         },
                         out,
                     );
+                }
+            }
+        }
+    }
+}
+
+impl NoPanicLib {
+    /// The entrypoint check: bare `.unwrap()` / `.unwrap_err()` only.
+    fn check_entrypoint(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        const ENTRY_HELP: &str = "use `.expect(\"what failed and why it cannot\")` — entrypoints \
+may abort, but with a message; or justify with `// lint-ok(no-panic-lib): <reason>`";
+        for (idx, line) in file.code.iter().enumerate() {
+            let lineno = idx + 1;
+            let chars: Vec<char> = line.chars().collect();
+            for method in ["unwrap", "unwrap_err"] {
+                for col in find_word(line, method) {
+                    let is_call = col > 0
+                        && chars[..col]
+                            .iter()
+                            .rev()
+                            .find(|c| !c.is_whitespace())
+                            .is_some_and(|&c| c == '.')
+                        && skip_ws(&chars, col + method.len()).is_some_and(|j| chars[j] == '(');
+                    if is_call {
+                        emit(
+                            self.id(),
+                            ENTRY_HELP,
+                            file,
+                            RawMatch {
+                                line: lineno,
+                                column: col + 1,
+                                width: method.len(),
+                                message: format!(
+                                    "bare `.{method}()` in an entrypoint target — aborts \
+                                     without saying what failed"
+                                ),
+                            },
+                            out,
+                        );
+                    }
                 }
             }
         }
@@ -224,6 +281,35 @@ mod tests {
     #[test]
     fn other_crates_are_out_of_scope() {
         assert!(run("fn f() { a.unwrap(); }\n", "other").is_empty());
+    }
+
+    fn run_entry(src: &str, kind: FileKind) -> Vec<Finding> {
+        let file =
+            SourceFile::from_source(PathBuf::from("mem.rs"), "benches/b.rs".into(), kind, src);
+        let config = LintConfig::empty();
+        let ctx = FileCtx {
+            crate_name: "any-crate-at-all",
+            config: &config,
+        };
+        let mut out = Vec::new();
+        assert!(NoPanicLib.applies(&ctx));
+        NoPanicLib.check(&file, &ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn entrypoint_bare_unwrap_is_flagged_in_every_crate() {
+        for kind in [FileKind::Bin, FileKind::Bench, FileKind::Example] {
+            let out = run_entry("fn main() { f().unwrap(); }\n", kind);
+            assert_eq!(out.len(), 1, "{kind:?}: {out:?}");
+            assert!(out[0].message.contains("entrypoint"));
+        }
+    }
+
+    #[test]
+    fn entrypoint_expect_macros_and_indexing_pass() {
+        let src = "fn main() {\n    f().expect(\"load config\");\n    panic!(\"fatal: {e}\");\n    let x = v[0];\n}\n";
+        assert!(run_entry(src, FileKind::Bin).is_empty());
     }
 
     #[test]

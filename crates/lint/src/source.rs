@@ -12,6 +12,19 @@ pub enum FileKind {
     Lib,
     /// A binary target (`src/main.rs`, `src/bin/**`).
     Bin,
+    /// A Criterion bench target (`benches/**`).
+    Bench,
+    /// An example target (`examples/**`).
+    Example,
+}
+
+impl FileKind {
+    /// `true` for process-entry targets (bins, benches, examples): code
+    /// that owns its process, where aborting with a *message* is the error
+    /// strategy but a bare `.unwrap()` still hides the invariant.
+    pub fn is_entrypoint(self) -> bool {
+        matches!(self, FileKind::Bin | FileKind::Bench | FileKind::Example)
+    }
 }
 
 /// One `lint-ok` allowlist entry attached to a code line.
@@ -46,6 +59,9 @@ pub struct SourceFile {
     pub allows: Vec<Vec<Allow>>,
     /// `lint-ok` comments with an empty reason (reported, never honored).
     pub malformed_allows: Vec<usize>,
+    /// Every comment with its 1-based start line, in source order (the
+    /// symbol table reads `// SAFETY:` contracts out of these).
+    pub comments: Vec<Comment>,
 }
 
 impl SourceFile {
@@ -78,6 +94,7 @@ impl SourceFile {
             is_test,
             allows,
             malformed_allows,
+            comments: scrubbed.comments,
         }
     }
 

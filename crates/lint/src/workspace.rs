@@ -1,21 +1,28 @@
 //! Workspace discovery: find first-party crates and their Rust sources.
 //!
-//! The linter checks `src/` trees only — `tests/`, `benches/` and
-//! `examples/` are test code by construction, and the `shims/` stand-ins
-//! for external crates are vendored surface, not first-party code. The
-//! fixture crates under `crates/lint/tests/fixtures/` are likewise never
-//! part of a workspace walk (they are not workspace members and live under
-//! a `tests/` tree); fixture checks point the engine at them explicitly.
+//! The scan set covers every first-party *target*: library code (`src/**`),
+//! binaries (`src/main.rs`, `src/bin/**`), Criterion benches
+//! (`benches/**`) and examples (`examples/**`) — for the root package and
+//! every `crates/*` member. `tests/` trees are test code by construction
+//! and the `shims/` stand-ins for external crates are vendored surface,
+//! not first-party code; both are skipped, but skipped `.rs` files are
+//! *counted* ([`count_rs_files`]) so the report can surface coverage gaps
+//! instead of silently narrowing. The fixture crates under
+//! `crates/lint/tests/fixtures/` live under a `tests/` tree and are never
+//! part of a workspace walk; fixture checks point the engine at them
+//! explicitly.
 
 use crate::source::{FileKind, SourceFile};
 use crate::LintError;
 use std::path::{Path, PathBuf};
 
-/// One crate to lint: its package name and source directory.
+/// One crate to lint: its package name and target directories.
 #[derive(Debug, Clone)]
 pub struct CrateSrc {
     /// Package name from `Cargo.toml`.
     pub name: String,
+    /// The crate's root directory (holding `Cargo.toml`).
+    pub crate_dir: PathBuf,
     /// The crate's `src/` directory.
     pub src_dir: PathBuf,
     /// Root-relative prefix for report paths (e.g. `crates/tensor`).
@@ -40,6 +47,7 @@ pub fn discover(root: &Path) -> Result<Vec<CrateSrc>, LintError> {
         if let Some(name) = package_name(&root.join("Cargo.toml")) {
             out.push(CrateSrc {
                 name,
+                crate_dir: root.to_path_buf(),
                 src_dir: root.join("src"),
                 rel_prefix: String::new(),
             });
@@ -64,6 +72,7 @@ pub fn discover(root: &Path) -> Result<Vec<CrateSrc>, LintError> {
                 .unwrap_or_default();
             out.push(CrateSrc {
                 name,
+                crate_dir: dir.clone(),
                 src_dir: src,
                 rel_prefix: format!("crates/{dir_name}"),
             });
@@ -72,11 +81,29 @@ pub fn discover(root: &Path) -> Result<Vec<CrateSrc>, LintError> {
     Ok(out)
 }
 
-/// Loads every `.rs` file under the crate's `src/`, classifying binary
-/// targets (`src/main.rs`, `src/bin/**`) so bin-exempt rules can skip them.
+/// Loads every `.rs` file belonging to the crate's targets: `src/**`
+/// (binary targets `src/main.rs` / `src/bin/**` classified so bin-aware
+/// rules can adapt), plus `benches/**` and `examples/**` when present.
 pub fn load_sources(krate: &CrateSrc) -> Result<Vec<SourceFile>, LintError> {
     let mut files = Vec::new();
-    let mut stack = vec![krate.src_dir.clone()];
+    load_tree(krate, &krate.src_dir, "src", &mut files)?;
+    for (dir, label) in [("benches", "benches"), ("examples", "examples")] {
+        let tree = krate.crate_dir.join(dir);
+        if tree.is_dir() {
+            load_tree(krate, &tree, label, &mut files)?;
+        }
+    }
+    Ok(files)
+}
+
+/// Walks one target tree (`src`, `benches` or `examples`) of a crate.
+fn load_tree(
+    krate: &CrateSrc,
+    tree: &Path,
+    label: &str,
+    files: &mut Vec<SourceFile>,
+) -> Result<(), LintError> {
+    let mut stack = vec![tree.to_path_buf()];
     while let Some(dir) = stack.pop() {
         for entry in read_dir_sorted(&dir)? {
             if entry.is_dir() {
@@ -86,25 +113,54 @@ pub fn load_sources(krate: &CrateSrc) -> Result<Vec<SourceFile>, LintError> {
             if entry.extension().and_then(|e| e.to_str()) != Some("rs") {
                 continue;
             }
-            let rel_in_src = entry
-                .strip_prefix(&krate.src_dir)
+            let rel_in_tree = entry
+                .strip_prefix(tree)
                 .unwrap_or(&entry)
                 .to_string_lossy()
                 .replace('\\', "/");
-            let kind = if rel_in_src == "main.rs" || rel_in_src.starts_with("bin/") {
-                FileKind::Bin
-            } else {
-                FileKind::Lib
+            let kind = match label {
+                "benches" => FileKind::Bench,
+                "examples" => FileKind::Example,
+                _ if rel_in_tree == "main.rs" || rel_in_tree.starts_with("bin/") => FileKind::Bin,
+                _ => FileKind::Lib,
             };
             let rel = if krate.rel_prefix.is_empty() {
-                format!("src/{rel_in_src}")
+                format!("{label}/{rel_in_tree}")
             } else {
-                format!("{}/src/{rel_in_src}", krate.rel_prefix)
+                format!("{}/{label}/{rel_in_tree}", krate.rel_prefix)
             };
             files.push(SourceFile::load(&entry, rel, kind)?);
         }
     }
-    Ok(files)
+    Ok(())
+}
+
+/// Counts every `.rs` file under `root`, excluding build output and VCS
+/// metadata. The difference between this and the number of files the walk
+/// loaded is the *skipped* count the report prints: tests, shims and
+/// fixtures that are out of scope by design, visible instead of silent.
+pub fn count_rs_files(root: &Path) -> Result<usize, LintError> {
+    let mut count = 0usize;
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in read_dir_sorted(&dir)? {
+            if entry.is_dir() {
+                let name = entry
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                if name == ".git" || name == "target" || name == "node_modules" {
+                    continue;
+                }
+                stack.push(entry);
+                continue;
+            }
+            if entry.extension().and_then(|e| e.to_str()) == Some("rs") {
+                count += 1;
+            }
+        }
+    }
+    Ok(count)
 }
 
 /// Reads a directory, sorted by name for deterministic reports.
@@ -191,6 +247,41 @@ mod tests {
             .find(|f| f.rel.ends_with("src/lib.rs"))
             .unwrap();
         assert_eq!(lib.kind, FileKind::Lib);
+    }
+
+    #[test]
+    fn scans_bench_and_example_targets() {
+        let crates = discover(&workspace_root()).unwrap();
+        let bench = crates.iter().find(|c| c.name == "adv-bench").unwrap();
+        let files = load_sources(bench).unwrap();
+        let b = files
+            .iter()
+            .find(|f| f.rel.ends_with("benches/serve_throughput.rs"))
+            .expect("bench targets must be scanned");
+        assert_eq!(b.kind, FileKind::Bench);
+
+        let root_pkg = crates.iter().find(|c| c.name == "magnet-l1").unwrap();
+        let files = load_sources(root_pkg).unwrap();
+        let e = files
+            .iter()
+            .find(|f| f.rel == "examples/quickstart.rs")
+            .expect("root examples must be scanned");
+        assert_eq!(e.kind, FileKind::Example);
+    }
+
+    #[test]
+    fn skipped_file_count_is_visible() {
+        let root = workspace_root();
+        let total = count_rs_files(&root).unwrap();
+        let crates = discover(&root).unwrap();
+        let scanned: usize = crates
+            .iter()
+            .map(|c| load_sources(c).map(|f| f.len()).unwrap_or(0))
+            .sum();
+        assert!(
+            total > scanned,
+            "tests/shims/fixtures should make total ({total}) > scanned ({scanned})"
+        );
     }
 
     #[test]

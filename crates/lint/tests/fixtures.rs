@@ -33,11 +33,11 @@ fn violations_fixture_triggers_each_rule_exactly_once() {
     assert_eq!(
         by_rule,
         vec![
-            ("crate-error-types", "crates/fx-errors/src/lib.rs", 8),
-            ("gated-clocks", "crates/fx-clocks/src/lib.rs", 7),
-            ("lint-ok-syntax", "crates/fx-allow/src/lib.rs", 11),
-            ("no-panic-lib", "crates/fx-panic/src/lib.rs", 5),
-            ("ordering-justified", "crates/fx-ordering/src/lib.rs", 9),
+            ("crate-error-types", "crates/fx-errors/src/lib.rs", 10),
+            ("gated-clocks", "crates/fx-clocks/src/lib.rs", 9),
+            ("lint-ok-syntax", "crates/fx-allow/src/lib.rs", 13),
+            ("no-panic-lib", "crates/fx-panic/src/lib.rs", 7),
+            ("ordering-justified", "crates/fx-ordering/src/lib.rs", 11),
         ],
         "each rule must fire exactly once, nowhere else: {:#?}",
         report.findings
@@ -51,7 +51,7 @@ fn violations_fixture_diagnostics_carry_file_line_and_caret() {
 
     let text = report.render(false);
     assert!(
-        text.contains("--> crates/fx-panic/src/lib.rs:5:"),
+        text.contains("--> crates/fx-panic/src/lib.rs:7:"),
         "rustc-style file:line:col expected:\n{text}"
     );
     assert!(text.contains('^'), "caret underline expected:\n{text}");
@@ -129,7 +129,33 @@ fn seeded_unwrap_in_a_covered_crate_is_reported_with_location() {
         .expect("the seeded unwrap must be found");
     assert_eq!(
         (hit.path.as_str(), hit.line),
-        ("crates/fx-panic/src/lib.rs", 5)
+        ("crates/fx-panic/src/lib.rs", 7)
     );
     assert!(hit.snippet.contains("unwrap"), "{:?}", hit.snippet);
+}
+
+/// One fixture workspace per workspace-wide (pass-2) rule, each pinning
+/// exactly one finding — the cross-file analogue of the `violations`
+/// fixture above.
+#[test]
+fn each_workspace_rule_fires_exactly_once_in_its_fixture() {
+    let cases = [
+        ("ws-atomic", "atomic-protocol", "crates/fx-atomic/src/lib.rs"),
+        ("ws-unsafe", "unsafe-audit", "crates/fx-unsafe/src/lib.rs"),
+        ("ws-alloc", "no-alloc-in-kernel", "crates/fx-alloc/src/lib.rs"),
+        ("ws-deadslot", "dead-slot", "crates/fx-deadslot/src/lib.rs"),
+        ("ws-deadmetric", "dead-metric", "crates/fx-deadmetric/src/lib.rs"),
+        ("ws-debt", "lint-debt", "lint_debt.json"),
+    ];
+    for (fx, rule, path) in cases {
+        let report = run_check(&fixture(fx)).expect("fixture workspace must be walkable");
+        assert_eq!(
+            report.findings.len(),
+            1,
+            "{fx} must pin exactly one finding: {:#?}",
+            report.findings
+        );
+        assert_eq!(report.findings[0].rule, rule, "{fx}");
+        assert_eq!(report.findings[0].path, path, "{fx}");
+    }
 }

@@ -2,10 +2,13 @@
 //! allowlisted form, so the linter must report zero findings even with all
 //! scoped rules enabled for this crate.
 
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 static TICKS: AtomicU64 = AtomicU64::new(0);
+static LEVEL: AtomicU64 = AtomicU64::new(0);
 
 /// The crate's typed error.
 #[derive(Debug)]
@@ -22,11 +25,23 @@ pub fn first(values: &[u64]) -> Result<u64, CleanError> {
     values.first().copied().ok_or(CleanError::Empty)
 }
 
-/// A justified atomic site (compliant with `ordering-justified`).
+/// A proven Relaxed counter needs NO justification comment: every access
+/// to `TICKS` is Relaxed and within the counter op set, so the workspace
+/// analysis exempts it (compliant with `ordering-justified` v2).
 pub fn tick() -> u64 {
-    // lint-ok(ordering-justified): independent counter; readers tolerate
-    // stale values and nothing is published through it
     TICKS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Counter reads are exempt too.
+pub fn ticks() -> u64 {
+    TICKS.load(Ordering::Relaxed)
+}
+
+/// A store disqualifies `LEVEL` from the counter exemption, so this site
+/// carries a live justification (compliant, and NOT stale).
+pub fn set_level(v: u64) {
+    // lint-ok(ordering-justified): level value; readers tolerate staleness
+    LEVEL.store(v, Ordering::Relaxed);
 }
 
 /// An allowlisted clock read (compliant with `gated-clocks`): timing is

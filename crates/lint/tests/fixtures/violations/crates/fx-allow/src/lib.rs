@@ -1,5 +1,7 @@
 //! Fixture: exactly one `lint-ok-syntax` violation (the reasonless allow).
 
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static N: AtomicU64 = AtomicU64::new(0);
@@ -7,8 +9,8 @@ static N: AtomicU64 = AtomicU64::new(0);
 /// The allow below names the right rule but gives no reason — the
 /// violation (and because the allow is malformed, it suppresses nothing;
 /// the ordering site itself stays covered by the valid allow that follows).
-pub fn bump() {
+pub fn set() {
     // lint-ok(ordering-justified):
-    // lint-ok(ordering-justified): independent counter, justified properly
-    N.fetch_add(1, Ordering::Relaxed);
+    // lint-ok(ordering-justified): level value set once, justified properly
+    N.store(1, Ordering::Relaxed);
 }

@@ -1,5 +1,7 @@
 //! Fixture: exactly one `gated-clocks` violation (the `Instant::now`).
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 /// Reads the clock in library code with no gate — the violation.

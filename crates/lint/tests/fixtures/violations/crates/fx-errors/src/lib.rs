@@ -1,5 +1,7 @@
 //! Fixture: exactly one `crate-error-types` violation (the `String` error).
 
+#![forbid(unsafe_code)]
+
 /// The crate's own error type; returning it is compliant.
 #[derive(Debug)]
 pub struct FxError(pub String);

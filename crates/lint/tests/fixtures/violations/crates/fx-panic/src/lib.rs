@@ -1,5 +1,7 @@
 //! Fixture: exactly one `no-panic-lib` violation (the `unwrap` below).
 
+#![forbid(unsafe_code)]
+
 /// Parses a port, panicking on bad input — the violation under test.
 pub fn parse_port(s: &str) -> u16 {
     s.parse().unwrap()

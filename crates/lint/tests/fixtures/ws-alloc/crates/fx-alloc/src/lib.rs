@@ -1,0 +1,22 @@
+//! Fixture: exactly one `no-alloc-in-kernel` violation (the `Vec::new`
+//! after `KernelScope::enter`).
+
+#![forbid(unsafe_code)]
+
+/// Opens a kernel scope, then allocates inside the measured region — the
+/// violation. (The fixture is never compiled; `KernelScope` is a token
+/// pattern to the linter, not a resolved path.)
+pub fn hot(input: &[f32]) -> Vec<f32> {
+    let _prof = KernelScope::enter(KernelKind::Elementwise, || Work::map(input.len()));
+    let mut out = Vec::new();
+    out.extend_from_slice(input);
+    out
+}
+
+/// Allocates before entering; must NOT be a finding.
+pub fn cold(input: &[f32]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(input.len());
+    let _prof = KernelScope::enter(KernelKind::Elementwise, || Work::map(input.len()));
+    out.extend_from_slice(input);
+    out
+}

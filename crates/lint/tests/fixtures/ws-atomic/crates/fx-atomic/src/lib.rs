@@ -1,0 +1,15 @@
+//! Fixture: exactly one `atomic-protocol` violation (the unconsumed
+//! Release publish).
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static READY: AtomicU64 = AtomicU64::new(0);
+
+/// Release-publishes a flag that no Acquire-side consumer ever reads —
+/// the violation (half a handoff).
+pub fn publish() {
+    // lint-ok(ordering-justified): Release publishes the readiness flag
+    READY.store(1, Ordering::Release);
+}

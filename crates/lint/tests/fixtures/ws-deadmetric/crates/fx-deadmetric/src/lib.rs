@@ -1,0 +1,10 @@
+//! Fixture: exactly one `dead-metric` violation (`fx.extra` is registered
+//! but missing from DESIGN.md's schema block).
+
+#![forbid(unsafe_code)]
+
+/// Registers both metrics; the undocumented one is the violation.
+pub fn install(registry: &Registry) {
+    registry.counter("fx.documented");
+    registry.counter("fx.extra");
+}

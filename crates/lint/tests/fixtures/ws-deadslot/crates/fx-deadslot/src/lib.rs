@@ -1,0 +1,16 @@
+//! Fixture: exactly one `dead-slot` violation (the `Ghost` variant).
+
+#![forbid(unsafe_code)]
+
+/// Kernel inventory with explicit discriminants, like the real one.
+pub enum KernelKind {
+    /// Entered below.
+    MatMul = 0,
+    /// Never passed to `KernelScope::enter` — the violation.
+    Ghost = 1,
+}
+
+/// Enters the only live kind.
+pub fn run(n: usize) {
+    let _prof = KernelScope::enter(KernelKind::MatMul, || Work::map(n));
+}

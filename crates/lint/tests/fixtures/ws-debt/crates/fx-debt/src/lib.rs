@@ -1,0 +1,19 @@
+//! Fixture: exactly one `lint-debt` violation — the committed baseline
+//! budgets no `gated-clocks` suppressions, and this crate has one.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// The allow below is well-formed; the unbudgeted debt is the violation.
+pub fn measure() -> Instant {
+    // lint-ok(gated-clocks): timing is this fixture's feature
+    Instant::now()
+}
+
+/// Budgeted debt (baseline allows one `no-panic-lib`); must NOT be a
+/// finding.
+pub fn budgeted(v: Option<u64>) -> u64 {
+    // lint-ok(no-panic-lib): fixture exercises the budgeted path
+    v.unwrap_or(0)
+}

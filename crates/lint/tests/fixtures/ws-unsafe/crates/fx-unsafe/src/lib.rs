@@ -1,0 +1,6 @@
+//! Fixture: exactly one `unsafe-audit` violation — this lib.rs does not
+//! forbid unsafe code at the crate level, and no unsafe_policy.txt clears
+//! the crate.
+
+/// Harmless body; the missing crate attribute is the violation.
+pub fn noop() {}

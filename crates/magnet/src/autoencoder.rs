@@ -166,15 +166,15 @@ impl Autoencoder {
     /// without re-running the network; `reconstruction_errors` is exactly
     /// `errors_against(x, &self.reconstruct(x)?, p)`.
     pub fn errors_against(x: &Tensor, recon: &Tensor, p: u8) -> Vec<f32> {
-        let _prof =
-            adv_profile::KernelScope::enter(adv_profile::KernelKind::DetectorDistance, || {
-                adv_profile::Work::custom(x.len() as u64, 3 * x.len() as u64, 8 * x.len() as u64)
-            });
         let n = x.shape().dim(0);
         let item = x.shape().volume() / n.max(1);
         let xs = x.as_slice();
         let rs = recon.as_slice();
         let mut out = Vec::with_capacity(n);
+        let _prof =
+            adv_profile::KernelScope::enter(adv_profile::KernelKind::DetectorDistance, || {
+                adv_profile::Work::custom(x.len() as u64, 3 * x.len() as u64, 8 * x.len() as u64)
+            });
         for i in 0..n {
             let a = &xs[i * item..(i + 1) * item];
             let b = &rs[i * item..(i + 1) * item];
@@ -187,6 +187,7 @@ impl Autoencoder {
                     .sum::<f32>()
                     .sqrt(),
             };
+            // lint-ok(no-alloc-in-kernel): pre-sized with_capacity(n) above — push never reallocates
             out.push(err);
         }
         out

@@ -81,8 +81,6 @@ impl ThreadBuf {
     fn new() -> ThreadBuf {
         static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
         ThreadBuf {
-            // lint-ok(ordering-justified): unique-id handout; atomicity of
-            // the increment is the whole contract, no memory is published.
             id: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
             stack: Vec::new(),
             events: Vec::new(),

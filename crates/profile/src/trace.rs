@@ -76,8 +76,6 @@ pub fn next_trace_id() -> TraceId {
         return TraceId::NONE;
     }
     static NEXT: AtomicU64 = AtomicU64::new(1);
-    // lint-ok(ordering-justified): unique-id handout; atomicity of the
-    // increment is the whole contract, no memory is published through it.
     TraceId(NEXT.fetch_add(1, Ordering::Relaxed))
 }
 

