@@ -43,15 +43,27 @@ fn bench_attacks(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("fgsm", |bench| {
         let attack = Fgsm::new(0.1).expect("Fgsm::new failed");
-        bench.iter(|| attack.run(&mut net, black_box(&x), &y).expect("attack.run failed"))
+        bench.iter(|| {
+            attack
+                .run(&mut net, black_box(&x), &y)
+                .expect("attack.run failed")
+        })
     });
     g.bench_function("ead_10it_1bs", |bench| {
         let attack = ead(10, 1);
-        bench.iter(|| attack.run(&mut net, black_box(&x), &y).expect("attack.run failed"))
+        bench.iter(|| {
+            attack
+                .run(&mut net, black_box(&x), &y)
+                .expect("attack.run failed")
+        })
     });
     g.bench_function("cw_10it_1bs", |bench| {
         let attack = cw(10, 1);
-        bench.iter(|| attack.run(&mut net, black_box(&x), &y).expect("attack.run failed"))
+        bench.iter(|| {
+            attack
+                .run(&mut net, black_box(&x), &y)
+                .expect("attack.run failed")
+        })
     });
     g.finish();
 }
@@ -67,14 +79,20 @@ fn bench_batched_vs_per_example(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("batched_8", |bench| {
         let attack = ead(10, 1);
-        bench.iter(|| attack.run(&mut net, black_box(&x), &y).expect("attack.run failed"))
+        bench.iter(|| {
+            attack
+                .run(&mut net, black_box(&x), &y)
+                .expect("attack.run failed")
+        })
     });
     g.bench_function("per_example_8", |bench| {
         let attack = ead(10, 1);
         bench.iter(|| {
             for i in 0..8 {
                 let xi = gather0(&x, &[i]).expect("gather0 failed");
-                attack.run(&mut net, black_box(&xi), &y[i..=i]).expect("attack.run failed");
+                attack
+                    .run(&mut net, black_box(&xi), &y[i..=i])
+                    .expect("attack.run failed");
             }
         })
     });

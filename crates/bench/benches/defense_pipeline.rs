@@ -26,7 +26,8 @@ fn bench_detectors(c: &mut Criterion) {
         bench.iter(|| det.scores(black_box(&x)).expect("det.scores failed"))
     });
     g.bench_function("jsd_t40", |bench| {
-        let det = JsdDetector::new(aes.ae_one.clone(), clf.clone(), 40.0).expect("JsdDetector::new failed");
+        let det = JsdDetector::new(aes.ae_one.clone(), clf.clone(), 40.0)
+            .expect("JsdDetector::new failed");
         bench.iter(|| det.scores(black_box(&x)).expect("det.scores failed"))
     });
     g.finish();
@@ -37,7 +38,10 @@ fn bench_calibration(c: &mut Criterion) {
     let clean = image_batch(128, 1, 28);
     c.bench_function("calibrate_recon_detector_128", |bench| {
         let mut det = ReconstructionDetector::new(aes.ae_one.clone(), ReconstructionNorm::L2);
-        bench.iter(|| det.calibrate(black_box(&clean), 0.02).expect("det.calibrate failed"))
+        bench.iter(|| {
+            det.calibrate(black_box(&clean), 0.02)
+                .expect("det.calibrate failed")
+        })
     });
 }
 
@@ -60,14 +64,20 @@ fn bench_full_pipeline(c: &mut Criterion) {
         clf,
     );
     let clean = image_batch(64, 1, 28);
-    defense.calibrate_detectors(&clean, 0.02).expect("defense.calibrate_detectors failed");
+    defense
+        .calibrate_detectors(&clean, 0.02)
+        .expect("defense.calibrate_detectors failed");
     let x = image_batch(16, 1, 28);
 
     let mut g = c.benchmark_group("defense_pipeline_b16");
     g.sample_size(20);
     for scheme in DefenseScheme::ALL {
         g.bench_function(format!("{scheme:?}"), |bench| {
-            bench.iter(|| defense.classify(black_box(&x), scheme).expect("defense.classify failed"))
+            bench.iter(|| {
+                defense
+                    .classify(black_box(&x), scheme)
+                    .expect("defense.classify failed")
+            })
         });
     }
     g.finish();

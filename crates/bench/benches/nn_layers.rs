@@ -11,18 +11,25 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_classifier(c: &mut Criterion) {
-    let mut net = Sequential::from_specs(&mnist_classifier(28, 1, 8, 16, 64, 10), 1).expect("Sequential::from_specs failed");
+    let mut net = Sequential::from_specs(&mnist_classifier(28, 1, 8, 16, 64, 10), 1)
+        .expect("Sequential::from_specs failed");
     let x = image_batch(16, 1, 28);
     let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
 
     let mut g = c.benchmark_group("classifier_cnn_b16");
     g.bench_function("forward", |bench| {
-        bench.iter(|| net.forward(black_box(&x), Mode::Eval).expect("net.forward failed"))
+        bench.iter(|| {
+            net.forward(black_box(&x), Mode::Eval)
+                .expect("net.forward failed")
+        })
     });
     g.bench_function("forward_backward_to_input", |bench| {
         bench.iter(|| {
-            let logits = net.forward(black_box(&x), Mode::Eval).expect("net.forward failed");
-            let (_, grad) = softmax_cross_entropy(&logits, &labels).expect("softmax_cross_entropy failed");
+            let logits = net
+                .forward(black_box(&x), Mode::Eval)
+                .expect("net.forward failed");
+            let (_, grad) =
+                softmax_cross_entropy(&logits, &labels).expect("softmax_cross_entropy failed");
             net.backward(&grad).expect("net.backward failed")
         })
     });
@@ -30,20 +37,30 @@ fn bench_classifier(c: &mut Criterion) {
 }
 
 fn bench_autoencoder(c: &mut Criterion) {
-    let mut thin = Sequential::from_specs(&mnist_ae_one(1, 3), 2).expect("Sequential::from_specs failed");
-    let mut wide = Sequential::from_specs(&mnist_ae_one(1, 8), 2).expect("Sequential::from_specs failed");
+    let mut thin =
+        Sequential::from_specs(&mnist_ae_one(1, 3), 2).expect("Sequential::from_specs failed");
+    let mut wide =
+        Sequential::from_specs(&mnist_ae_one(1, 8), 2).expect("Sequential::from_specs failed");
     let x = image_batch(16, 1, 28);
 
     let mut g = c.benchmark_group("magnet_autoencoder_b16");
     g.bench_function("forward_3_filters", |bench| {
-        bench.iter(|| thin.forward(black_box(&x), Mode::Eval).expect("thin.forward failed"))
+        bench.iter(|| {
+            thin.forward(black_box(&x), Mode::Eval)
+                .expect("thin.forward failed")
+        })
     });
     g.bench_function("forward_8_filters", |bench| {
-        bench.iter(|| wide.forward(black_box(&x), Mode::Eval).expect("wide.forward failed"))
+        bench.iter(|| {
+            wide.forward(black_box(&x), Mode::Eval)
+                .expect("wide.forward failed")
+        })
     });
     g.bench_function("reconstruction_backward", |bench| {
         bench.iter(|| {
-            let y = thin.forward(black_box(&x), Mode::Train).expect("thin.forward failed");
+            let y = thin
+                .forward(black_box(&x), Mode::Train)
+                .expect("thin.forward failed");
             let dy = Tensor::ones(y.shape().clone());
             thin.backward(&dy).expect("thin.backward failed")
         })

@@ -39,8 +39,14 @@ fn calibrated_defense() -> Arc<MagnetDefense> {
             aes.ae_two.clone(),
             ReconstructionNorm::L1,
         )),
-        Box::new(JsdDetector::new(aes.ae_one.clone(), clf.clone(), 10.0).expect("JsdDetector::new failed")),
-        Box::new(JsdDetector::new(aes.ae_one.clone(), clf.clone(), 40.0).expect("JsdDetector::new failed")),
+        Box::new(
+            JsdDetector::new(aes.ae_one.clone(), clf.clone(), 10.0)
+                .expect("JsdDetector::new failed"),
+        ),
+        Box::new(
+            JsdDetector::new(aes.ae_one.clone(), clf.clone(), 40.0)
+                .expect("JsdDetector::new failed"),
+        ),
     ];
     let mut defense = MagnetDefense::new("serve-bench-d-jsd", detectors, aes.ae_one.clone(), clf);
     defense
@@ -51,7 +57,9 @@ fn calibrated_defense() -> Arc<MagnetDefense> {
 
 fn corpus_items() -> Vec<Tensor> {
     let x = image_batch(CORPUS, 1, 28);
-    (0..CORPUS).map(|i| x.index_axis0(i).expect("x.index_axis0 failed")).collect()
+    (0..CORPUS)
+        .map(|i| x.index_axis0(i).expect("x.index_axis0 failed"))
+        .collect()
 }
 
 fn server(
@@ -88,7 +96,11 @@ fn bench_serve_throughput(c: &mut Criterion) {
             .collect();
         bench.iter(|| {
             for x in &singles {
-                black_box(defense.classify(black_box(x), DefenseScheme::Full).expect("defense.classify failed"));
+                black_box(
+                    defense
+                        .classify(black_box(x), DefenseScheme::Full)
+                        .expect("defense.classify failed"),
+                );
             }
         })
     });
@@ -137,7 +149,8 @@ fn bench_serve_throughput(c: &mut Criterion) {
     let tele_dir =
         std::env::temp_dir().join(format!("adv_bench_serve_telemetry_{}", std::process::id()));
     std::fs::remove_dir_all(&tele_dir).ok();
-    let recorder = TelemetryRecorder::start(RecorderConfig::new(&tele_dir)).expect("TelemetryRecorder::start failed");
+    let recorder = TelemetryRecorder::start(RecorderConfig::new(&tele_dir))
+        .expect("TelemetryRecorder::start failed");
     let engine = ServeEngine::start(
         defense.clone(),
         ServeConfig {

@@ -48,7 +48,9 @@ fn bench_evaluation_point(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("craft_and_evaluate_b4", |bench| {
         bench.iter(|| {
-            let outcome = attack.run(&mut clf, black_box(&x), &y).expect("attack.run failed");
+            let outcome = attack
+                .run(&mut clf, black_box(&x), &y)
+                .expect("attack.run failed");
             defense
                 .accuracy(&outcome.adversarial, &y, adv_magnet::DefenseScheme::Full)
                 .expect("accuracy failed")

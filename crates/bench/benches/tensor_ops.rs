@@ -42,7 +42,9 @@ fn bench_conv(c: &mut Criterion) {
         bench.iter(|| conv2d(black_box(&x), &w, &b, &spec).expect("conv2d failed"))
     });
     g.bench_function("backward", |bench| {
-        bench.iter(|| conv2d_backward(black_box(&x), &w, &dy, &spec).expect("conv2d_backward failed"))
+        bench.iter(|| {
+            conv2d_backward(black_box(&x), &w, &dy, &spec).expect("conv2d_backward failed")
+        })
     });
     g.finish();
 }
@@ -58,7 +60,10 @@ fn bench_pool_and_norms(c: &mut Criterion) {
         bench.iter(|| norms::l1_dist(black_box(&x), black_box(&y)).expect("norms::l1_dist failed"))
     });
     g.bench_function("elastic_net_dist", |bench| {
-        bench.iter(|| norms::elastic_net_dist(black_box(&x), black_box(&y), 0.05).expect("norms::elastic_net_dist failed"))
+        bench.iter(|| {
+            norms::elastic_net_dist(black_box(&x), black_box(&y), 0.05)
+                .expect("norms::elastic_net_dist failed")
+        })
     });
     g.finish();
 }

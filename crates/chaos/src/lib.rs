@@ -29,6 +29,9 @@
 //!   an [`adv_store::IoFaultHook`] injecting torn writes, bit flips, and
 //!   transient write errors into `adv-store`'s write paths, scoped to a
 //!   directory and fully determined by its seed.
+//! * [`NetFaultPlan`] — the wire-level variant for the TCP front door:
+//!   per-socket-operation decisions (torn frames, bit flips, stalled reads,
+//!   mid-request disconnects) consumed by `adv-net`'s stream wrapper.
 //!
 //! Injected panics carry the [`PANIC_MARKER`] prefix so supervision code
 //! and test assertions can tell a planned fault from a real bug.
@@ -39,11 +42,13 @@
 mod faulty;
 mod inject;
 mod io;
+mod net;
 mod plan;
 
 pub use faulty::{FaultyDefense, SITE_CLASSIFY, SITE_DETECT, SITE_REFORM};
 pub use inject::{FaultAction, FaultInjector, FaultStats};
 pub use io::{IoFaultPlan, IoFaultStats};
+pub use net::{NetFault, NetFaultPlan, NetFaultStats};
 pub use plan::{FaultPlan, SiteFaults};
 
 /// Prefix of every panic payload this crate injects.

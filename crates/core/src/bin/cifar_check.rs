@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let acc = adv_eval::zoo::classifier_accuracy(&mut net, &test)?;
         println!(
             "n={n} epochs={epochs}: train acc {:.3}, test acc {:.3}",
-            hist.last().expect("training history is empty").accuracy.unwrap_or(0.0),
+            hist.last()
+                .expect("training history is empty")
+                .accuracy
+                .unwrap_or(0.0),
             acc
         );
     }

@@ -65,11 +65,7 @@ pub fn render_baseline(counts: &BTreeMap<String, usize>) -> String {
 
 /// Compares live counts against the baseline, emitting one `lint-debt`
 /// finding per rule whose suppression count grew.
-pub fn check_debt(
-    root: &Path,
-    live: &BTreeMap<String, usize>,
-    out: &mut Vec<Finding>,
-) {
+pub fn check_debt(root: &Path, live: &BTreeMap<String, usize>, out: &mut Vec<Finding>) {
     let Some(baseline) = load_baseline(root) else {
         return;
     };

@@ -57,7 +57,12 @@ pub fn render_text(findings: &[Finding]) -> String {
 
 /// Serializes the report as one JSON object (no external deps; same
 /// hand-rolled style as the `adv-obs` exporters).
-pub fn render_json(findings: &[Finding], files_checked: usize, skipped: usize, allows: usize) -> String {
+pub fn render_json(
+    findings: &[Finding],
+    files_checked: usize,
+    skipped: usize,
+    allows: usize,
+) -> String {
     let mut out = String::from("{\"version\":1,\"findings\":[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {

@@ -133,8 +133,9 @@ impl LintConfig {
                 "adv-store",
                 "adv-telemetry",
                 "adv-profile",
+                "adv-net",
             ]),
-            index_check_crates: s(&["adv-serve", "adv-obs", "adv-chaos"]),
+            index_check_crates: s(&["adv-serve", "adv-obs", "adv-chaos", "adv-net"]),
             clock_crates: s(&[
                 "adv-tensor",
                 "adv-nn",
@@ -148,6 +149,7 @@ impl LintConfig {
                 "adv-store",
                 "adv-telemetry",
                 "adv-profile",
+                "adv-net",
             ]),
         }
     }
@@ -188,7 +190,12 @@ impl Report {
     /// Renders the report as text or JSON.
     pub fn render(&self, json: bool) -> String {
         if json {
-            render_json(&self.findings, self.files_checked, self.skipped, self.allows)
+            render_json(
+                &self.findings,
+                self.files_checked,
+                self.skipped,
+                self.allows,
+            )
         } else if self.findings.is_empty() {
             format!(
                 "adv-lint: clean — {} files checked, {} skipped \

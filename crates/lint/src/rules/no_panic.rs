@@ -184,18 +184,31 @@ may abort, but with a message; or justify with `// lint-ok(no-panic-lib): <reaso
 /// non-whitespace char is an identifier char, `)`, or `]`. This excludes
 /// attributes (`#[..]`), macro brackets (`vec![..]`, previous char `!`),
 /// type positions (`: [T; N]`, `&[T]`), and slice-type returns (`-> [T]`).
+/// Slice types behind `mut` or a lifetime (`&mut [u8]`, `&'a [u8]`) end in
+/// an identifier char too, so the preceding *word* is inspected: `mut` and
+/// lifetimes are type syntax, never an indexed expression.
 fn index_sites(chars: &[char]) -> Vec<usize> {
     let mut out = Vec::new();
     for (i, &c) in chars.iter().enumerate() {
         if c != '[' {
             continue;
         }
-        let prev = chars[..i].iter().rev().find(|c| !c.is_whitespace());
-        if let Some(&p) = prev {
-            if super::is_expr_end(p) {
-                out.push(i);
-            }
+        let Some(j) = chars[..i].iter().rposition(|c| !c.is_whitespace()) else {
+            continue;
+        };
+        if !super::is_expr_end(chars[j]) {
+            continue;
         }
+        let start = chars[..=j]
+            .iter()
+            .rposition(|&c| !crate::lexer::is_ident_char(c))
+            .map_or(0, |k| k + 1);
+        let word: String = chars[start..=j].iter().collect();
+        let lifetime = start > 0 && chars[start - 1] == '\'';
+        if word == "mut" || lifetime {
+            continue;
+        }
+        out.push(i);
     }
     out
 }
@@ -264,6 +277,15 @@ mod tests {
         );
         assert_eq!(out.len(), 3, "{out:?}");
         assert!(out.iter().all(|f| f.message.contains("indexing")));
+    }
+
+    #[test]
+    fn slice_types_behind_mut_and_lifetimes_are_not_indexing() {
+        let out = run(
+            "fn f<'a>(buf: &mut [u8], tail: &'a [u8]) -> &'a [u8] { &tail[1..] }\n",
+            "core-crate",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub fn check_workspace(table: &SymbolTable, ctx: &WsCtx<'_>, out: &mut Vec<Findi
 /// Emits a finding at a source position unless the line is test code or
 /// carries a matching allow. Paths outside the scanned set (`DESIGN.md`,
 /// `lint_debt.json`) have no allow machinery and always emit.
+#[allow(clippy::too_many_arguments)]
 fn emit_ws(
     rule: &'static str,
     help: &str,
@@ -166,10 +167,7 @@ fn atomic_protocol(table: &SymbolTable, ctx: &WsCtx<'_>, out: &mut Vec<Finding>)
                     out,
                 );
             }
-            if site.op == "load"
-                && site.orderings.iter().all(|o| o == "Relaxed")
-                && has_publish
-            {
+            if site.op == "load" && site.orderings.iter().all(|o| o == "Relaxed") && has_publish {
                 emit_ws(
                     "atomic-protocol",
                     ATOMIC_HELP,
@@ -216,7 +214,10 @@ fn atomic_protocol(table: &SymbolTable, ctx: &WsCtx<'_>, out: &mut Vec<Finding>)
         for (idx, entries) in file.allows.iter().enumerate() {
             for allow in entries {
                 if allow.rule == "ordering-justified" {
-                    by_comment.entry(allow.comment_line).or_default().push(idx + 1);
+                    by_comment
+                        .entry(allow.comment_line)
+                        .or_default()
+                        .push(idx + 1);
                 }
             }
         }
@@ -491,7 +492,10 @@ fn dead_metrics(table: &SymbolTable, ctx: &WsCtx<'_>, out: &mut Vec<Finding>) {
                 reg.line,
                 1,
                 reg.name.len(),
-                format!("metric `{}` is registered but not documented in DESIGN.md", reg.name),
+                format!(
+                    "metric `{}` is registered but not documented in DESIGN.md",
+                    reg.name
+                ),
                 out,
             );
         }

@@ -522,19 +522,15 @@ fn collect_atomic_fields(flat: &Flat<'_>, out: &mut Vec<AtomicField>) {
             // Walk back over the type path (`std::sync::atomic::`), then
             // expect a single `:` preceded by the field name.
             let mut j = site;
-            loop {
-                let Some(p) = back_ws(&flat.chars, j) else {
+            while let Some(p) = back_ws(&flat.chars, j) {
+                if p == 0 || flat.chars[p] != ':' || flat.chars[p - 1] != ':' {
                     break;
-                };
-                if p >= 1 && flat.chars[p] == ':' && flat.chars[p - 1] == ':' {
-                    let seg_end = match back_ws(&flat.chars, p - 1) {
-                        Some(e) if is_ident_char(flat.chars[e]) => e,
-                        _ => break,
-                    };
-                    j = ident_start(&flat.chars, seg_end);
-                    continue;
                 }
-                break;
+                let seg_end = match back_ws(&flat.chars, p - 1) {
+                    Some(e) if is_ident_char(flat.chars[e]) => e,
+                    _ => break,
+                };
+                j = ident_start(&flat.chars, seg_end);
             }
             let Some(colon) = back_ws(&flat.chars, j) else {
                 continue;
@@ -623,8 +619,7 @@ fn collect_atomic_sites(flat: &Flat<'_>, out: &mut Vec<AtomicSite>) {
                     continue;
                 };
                 let variant = ident_at(&flat.chars, v0);
-                if ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"]
-                    .contains(&variant.as_str())
+                if ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"].contains(&variant.as_str())
                 {
                     orderings.push(variant);
                     tokens.push((flat.line(abs), flat.col(abs)));
@@ -1042,7 +1037,10 @@ mod tests {
             "struct S { c: AtomicU64 }\nimpl S {\n    fn bump(&self) { self.c.fetch_add(1, Ordering::Relaxed); }\n    fn read(&self) -> u64 { self.c.load(Ordering::Relaxed) }\n}\n",
         );
         assert_eq!(t.atomic_sites.len(), 2);
-        assert!(t.atomic_sites.iter().all(|s| s.field.as_deref() == Some("c")));
+        assert!(t
+            .atomic_sites
+            .iter()
+            .all(|s| s.field.as_deref() == Some("c")));
         assert!(t.relaxed_counters.contains("c"), "{:?}", t.relaxed_counters);
     }
 
@@ -1082,7 +1080,11 @@ mod tests {
         let names: Vec<&str> = t.kernel_variants.iter().map(|v| v.name.as_str()).collect();
         assert_eq!(names, vec!["MatMul", "Ghost"]);
         assert!(t.entered_kinds.contains("MatMul"));
-        let dead: Vec<&str> = t.dead_kernel_variants().iter().map(|v| v.name.as_str()).collect();
+        let dead: Vec<&str> = t
+            .dead_kernel_variants()
+            .iter()
+            .map(|v| v.name.as_str())
+            .collect();
         assert_eq!(dead, vec!["Ghost"]);
         assert_eq!(t.kernel_fns.len(), 1);
     }

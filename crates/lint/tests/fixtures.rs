@@ -140,11 +140,23 @@ fn seeded_unwrap_in_a_covered_crate_is_reported_with_location() {
 #[test]
 fn each_workspace_rule_fires_exactly_once_in_its_fixture() {
     let cases = [
-        ("ws-atomic", "atomic-protocol", "crates/fx-atomic/src/lib.rs"),
+        (
+            "ws-atomic",
+            "atomic-protocol",
+            "crates/fx-atomic/src/lib.rs",
+        ),
         ("ws-unsafe", "unsafe-audit", "crates/fx-unsafe/src/lib.rs"),
-        ("ws-alloc", "no-alloc-in-kernel", "crates/fx-alloc/src/lib.rs"),
+        (
+            "ws-alloc",
+            "no-alloc-in-kernel",
+            "crates/fx-alloc/src/lib.rs",
+        ),
         ("ws-deadslot", "dead-slot", "crates/fx-deadslot/src/lib.rs"),
-        ("ws-deadmetric", "dead-metric", "crates/fx-deadmetric/src/lib.rs"),
+        (
+            "ws-deadmetric",
+            "dead-metric",
+            "crates/fx-deadmetric/src/lib.rs",
+        ),
         ("ws-debt", "lint-debt", "lint_debt.json"),
     ];
     for (fx, rule, path) in cases {

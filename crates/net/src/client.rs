@@ -1,0 +1,209 @@
+//! The blocking `ADVNET1` client: connect, authenticate, classify.
+//!
+//! Used by the integration tests, the `loadgen` binary (thousands of these
+//! across a thread pool), and the roundtrip bench. One request in flight
+//! per connection, matching the server's sequential request loop.
+
+use crate::frame::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use crate::{BusyReason, NetError};
+use adv_magnet::{DefenseScheme, Verdict};
+use adv_tensor::Tensor;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client socket tuning.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Bound on connect establishment.
+    pub connect_timeout: Duration,
+    /// Bound on waiting for any reply frame.
+    pub read_timeout: Duration,
+    /// Bound on writing a frame.
+    pub write_timeout: Duration,
+    /// Largest reply payload accepted.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(5),
+            max_frame_bytes: 16 << 20,
+        }
+    }
+}
+
+/// The server's answer to one request, as the client sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// A verdict was served.
+    Verdict {
+        /// The defense pipeline's decision.
+        verdict: Verdict,
+        /// Scheme the batch actually ran under.
+        scheme: DefenseScheme,
+        /// `true` when the breaker had degraded the configured scheme.
+        degraded: bool,
+        /// Queue wait of the request, nanoseconds.
+        queue_ns: u64,
+        /// Pipeline time of the request's batch, nanoseconds.
+        infer_ns: u64,
+        /// Requests coalesced into the executed batch.
+        batch: u32,
+    },
+    /// Admission was refused; retry after the hinted backoff.
+    Busy {
+        /// Why admission failed.
+        reason: BusyReason,
+        /// Suggested backoff, milliseconds.
+        retry_after_ms: u32,
+    },
+}
+
+/// A blocking connection to a [`crate::NetServer`].
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    cfg: ClientConfig,
+    next_id: u64,
+    /// Largest frame the server said it accepts.
+    max_frame: u32,
+}
+
+impl NetClient {
+    /// Connects, sends `Hello`, and waits for `Welcome`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Refused`] when the door answers `Busy` (connection cap,
+    /// draining), [`NetError::Remote`] for auth rejection, plus the usual
+    /// socket and codec failures.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        tenant: u32,
+        key: u64,
+        cfg: ClientConfig,
+    ) -> crate::Result<NetClient> {
+        let resolved = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or(NetError::Protocol("address resolved to nothing"))?;
+        let stream = TcpStream::connect_timeout(&resolved, cfg.connect_timeout)?;
+        stream.set_read_timeout(Some(cfg.read_timeout))?;
+        stream.set_write_timeout(Some(cfg.write_timeout))?;
+        let mut client = NetClient {
+            stream,
+            cfg,
+            next_id: 1,
+            max_frame: 0,
+        };
+        write_frame(&mut client.stream, &Frame::Hello { tenant, key })?;
+        match client.read_reply()? {
+            Frame::Welcome { version, max_frame } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(NetError::Protocol("server speaks a different version"));
+                }
+                client.max_frame = max_frame;
+                Ok(client)
+            }
+            Frame::Busy {
+                reason,
+                retry_after_ms,
+                ..
+            } => Err(NetError::Refused {
+                reason,
+                retry_after_ms,
+            }),
+            Frame::Error { code, message, .. } => Err(NetError::Remote { code, message }),
+            _ => Err(NetError::Protocol("expected Welcome")),
+        }
+    }
+
+    /// Classifies one input (per-item shape, e.g. `[C, H, W]`).
+    /// `deadline_ms == 0` asks for the server's default deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] for typed server errors (pipeline failure,
+    /// deadline expiry), plus socket and codec failures. A `Busy` refusal
+    /// is a normal [`Reply`], not an error.
+    pub fn classify(
+        &mut self,
+        input: &Tensor,
+        route: u32,
+        sample: u32,
+        deadline_ms: u32,
+    ) -> crate::Result<Reply> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let dims: Vec<u32> = input
+            .shape()
+            .dims()
+            .iter()
+            .map(|&d| d.min(u32::MAX as usize) as u32)
+            .collect();
+        let request = Frame::Request {
+            id,
+            deadline_ms,
+            route,
+            sample,
+            dims,
+            data: input.as_slice().to_vec(),
+        };
+        write_frame(&mut self.stream, &request)?;
+        match self.read_reply()? {
+            Frame::Response {
+                id: rid,
+                verdict,
+                scheme,
+                degraded,
+                queue_ns,
+                infer_ns,
+                batch,
+            } => {
+                if rid != id {
+                    return Err(NetError::Protocol("reply id mismatch"));
+                }
+                Ok(Reply::Verdict {
+                    verdict,
+                    scheme,
+                    degraded,
+                    queue_ns,
+                    infer_ns,
+                    batch,
+                })
+            }
+            Frame::Busy {
+                reason,
+                retry_after_ms,
+                ..
+            } => Ok(Reply::Busy {
+                reason,
+                retry_after_ms,
+            }),
+            Frame::Error { code, message, .. } => Err(NetError::Remote { code, message }),
+            _ => Err(NetError::Protocol("expected Response")),
+        }
+    }
+
+    /// The largest frame payload the server accepts, from its `Welcome`.
+    pub fn server_max_frame(&self) -> u32 {
+        self.max_frame
+    }
+
+    /// Ends the session cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn bye(mut self) -> crate::Result<()> {
+        write_frame(&mut self.stream, &Frame::Bye)?;
+        Ok(())
+    }
+
+    fn read_reply(&mut self) -> crate::Result<Frame> {
+        read_frame(&mut self.stream, self.cfg.max_frame_bytes)
+    }
+}

@@ -1,0 +1,851 @@
+//! The `ADVNET1` wire frame: a length-prefixed, CRC-guarded envelope for
+//! every message the front door exchanges, reusing `adv-store`'s envelope
+//! discipline (magic / version / length / CRC32, strict validation) on the
+//! socket instead of the filesystem.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   "ADVNET1\0"  8 bytes
+//! version u32          currently 1
+//! kind    u8           frame kind discriminant
+//! flags   u8           must be 0 in version 1
+//! length  u32          payload byte count
+//! crc32   u32          CRC32 of the payload
+//! payload [u8; length]
+//! ```
+//!
+//! Validation is strict: wrong magic, unknown version or kind, nonzero
+//! flags, a length that does not match the buffer, trailing bytes after the
+//! payload, a CRC mismatch, or an out-of-range field inside the payload all
+//! reject the frame with a typed [`FrameError`] — never a panic. The fuzz
+//! suite pins this for every strict prefix and every single-bit flip of a
+//! valid frame.
+
+use adv_magnet::{DefenseScheme, Verdict};
+use adv_store::crc32;
+
+/// The frame magic (8 bytes, NUL-padded).
+pub const FRAME_MAGIC: &[u8; 8] = b"ADVNET1\0";
+
+/// Protocol version this build speaks.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Bytes in the fixed frame header.
+pub const HEADER_LEN: usize = 8 + 4 + 1 + 1 + 4 + 4;
+
+/// Why a server refused to take a request right now. Busy frames are the
+/// admission-control answer: they are sent *before* any work enters the
+/// engine, so a loaded or draining server degrades into fast, explicit
+/// rejections instead of queue bloat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusyReason {
+    /// The tenant exhausted its token bucket.
+    RateLimited,
+    /// The engine's request queue is at capacity (backpressure).
+    QueueFull,
+    /// The server is draining for shutdown; no new work is admitted.
+    Draining,
+    /// The server is at its concurrent-connection cap.
+    Overloaded,
+}
+
+impl BusyReason {
+    fn to_wire(self) -> u8 {
+        match self {
+            BusyReason::RateLimited => 1,
+            BusyReason::QueueFull => 2,
+            BusyReason::Draining => 3,
+            BusyReason::Overloaded => 4,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<BusyReason, FrameError> {
+        match b {
+            1 => Ok(BusyReason::RateLimited),
+            2 => Ok(BusyReason::QueueFull),
+            3 => Ok(BusyReason::Draining),
+            4 => Ok(BusyReason::Overloaded),
+            _ => Err(FrameError::BadField("busy reason")),
+        }
+    }
+}
+
+impl std::fmt::Display for BusyReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BusyReason::RateLimited => write!(f, "rate limited"),
+            BusyReason::QueueFull => write!(f, "queue full"),
+            BusyReason::Draining => write!(f, "draining"),
+            BusyReason::Overloaded => write!(f, "overloaded"),
+        }
+    }
+}
+
+/// Typed error category carried by an [`Frame::Error`] reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireErrorCode {
+    /// Unknown tenant or wrong API key.
+    Auth,
+    /// The server could not parse the client's frame.
+    Malformed,
+    /// The defense pipeline failed terminally for this request.
+    Pipeline,
+    /// The request's deadline expired before a verdict was produced.
+    DeadlineExpired,
+    /// The request frame exceeded the server's size cap.
+    TooLarge,
+    /// Anything else (supervision failure, internal invariant).
+    Internal,
+}
+
+impl WireErrorCode {
+    fn to_wire(self) -> u8 {
+        match self {
+            WireErrorCode::Auth => 1,
+            WireErrorCode::Malformed => 2,
+            WireErrorCode::Pipeline => 3,
+            WireErrorCode::DeadlineExpired => 4,
+            WireErrorCode::TooLarge => 5,
+            WireErrorCode::Internal => 6,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<WireErrorCode, FrameError> {
+        match b {
+            1 => Ok(WireErrorCode::Auth),
+            2 => Ok(WireErrorCode::Malformed),
+            3 => Ok(WireErrorCode::Pipeline),
+            4 => Ok(WireErrorCode::DeadlineExpired),
+            5 => Ok(WireErrorCode::TooLarge),
+            6 => Ok(WireErrorCode::Internal),
+            _ => Err(FrameError::BadField("error code")),
+        }
+    }
+}
+
+impl std::fmt::Display for WireErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireErrorCode::Auth => write!(f, "auth"),
+            WireErrorCode::Malformed => write!(f, "malformed"),
+            WireErrorCode::Pipeline => write!(f, "pipeline"),
+            WireErrorCode::DeadlineExpired => write!(f, "deadline expired"),
+            WireErrorCode::TooLarge => write!(f, "too large"),
+            WireErrorCode::Internal => write!(f, "internal"),
+        }
+    }
+}
+
+fn scheme_to_wire(s: DefenseScheme) -> u8 {
+    match s {
+        DefenseScheme::None => 0,
+        DefenseScheme::DetectorOnly => 1,
+        DefenseScheme::ReformerOnly => 2,
+        DefenseScheme::Full => 3,
+    }
+}
+
+fn scheme_from_wire(b: u8) -> Result<DefenseScheme, FrameError> {
+    match b {
+        0 => Ok(DefenseScheme::None),
+        1 => Ok(DefenseScheme::DetectorOnly),
+        2 => Ok(DefenseScheme::ReformerOnly),
+        3 => Ok(DefenseScheme::Full),
+        _ => Err(FrameError::BadField("defense scheme")),
+    }
+}
+
+/// Every message the protocol can carry, server- and client-side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: open a session as `tenant`, proving the API key.
+    Hello {
+        /// Tenant id presented by the client.
+        tenant: u32,
+        /// The tenant's API key.
+        key: u64,
+    },
+    /// Server → client: the session is open.
+    Welcome {
+        /// Protocol version the server speaks.
+        version: u32,
+        /// Largest frame (payload bytes) the server will accept.
+        max_frame: u32,
+    },
+    /// Client → server: classify one input.
+    Request {
+        /// Client-chosen request id, echoed in the reply.
+        id: u64,
+        /// Client deadline budget in milliseconds; 0 means "server
+        /// default". Propagated into the engine's shed-expired path.
+        deadline_ms: u32,
+        /// Route tag (which corpus/endpoint the input belongs to).
+        route: u32,
+        /// Sample tag (resolvable back to the input at replay time).
+        sample: u32,
+        /// Input shape (per-item, e.g. `[C, H, W]`).
+        dims: Vec<u32>,
+        /// Input data, row-major, `dims` product many values.
+        data: Vec<f32>,
+    },
+    /// Server → client: the verdict for a request.
+    Response {
+        /// The request id this answers.
+        id: u64,
+        /// The defense pipeline's decision.
+        verdict: Verdict,
+        /// Scheme the batch actually ran under.
+        scheme: DefenseScheme,
+        /// `true` when the breaker had degraded the configured scheme.
+        degraded: bool,
+        /// Time the request waited in the engine queue, nanoseconds.
+        queue_ns: u64,
+        /// Pipeline execution time of the request's batch, nanoseconds.
+        infer_ns: u64,
+        /// Requests coalesced into the executed batch.
+        batch: u32,
+    },
+    /// Server → client: the request was refused before entering the engine.
+    Busy {
+        /// The request id (0 for connection-level refusals).
+        id: u64,
+        /// Why admission failed.
+        reason: BusyReason,
+        /// Suggested client backoff before retrying, milliseconds.
+        retry_after_ms: u32,
+    },
+    /// Server → client: the request failed with a typed error.
+    Error {
+        /// The request id (0 for connection-level errors).
+        id: u64,
+        /// Error category.
+        code: WireErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Client → server: clean end of session.
+    Bye,
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 1,
+            Frame::Welcome { .. } => 2,
+            Frame::Request { .. } => 3,
+            Frame::Response { .. } => 4,
+            Frame::Busy { .. } => 5,
+            Frame::Error { .. } => 6,
+            Frame::Bye => 7,
+        }
+    }
+
+    /// Serializes the frame (header + payload) into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(FRAME_MAGIC);
+        out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        out.push(self.kind());
+        out.push(0); // flags, reserved
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Frame::Hello { tenant, key } => {
+                p.extend_from_slice(&tenant.to_le_bytes());
+                p.extend_from_slice(&key.to_le_bytes());
+            }
+            Frame::Welcome { version, max_frame } => {
+                p.extend_from_slice(&version.to_le_bytes());
+                p.extend_from_slice(&max_frame.to_le_bytes());
+            }
+            Frame::Request {
+                id,
+                deadline_ms,
+                route,
+                sample,
+                dims,
+                data,
+            } => {
+                p.extend_from_slice(&id.to_le_bytes());
+                p.extend_from_slice(&deadline_ms.to_le_bytes());
+                p.extend_from_slice(&route.to_le_bytes());
+                p.extend_from_slice(&sample.to_le_bytes());
+                p.push(dims.len() as u8);
+                for d in dims {
+                    p.extend_from_slice(&d.to_le_bytes());
+                }
+                for v in data {
+                    p.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Frame::Response {
+                id,
+                verdict,
+                scheme,
+                degraded,
+                queue_ns,
+                infer_ns,
+                batch,
+            } => {
+                p.extend_from_slice(&id.to_le_bytes());
+                match verdict {
+                    Verdict::Detected => {
+                        p.push(0);
+                        p.extend_from_slice(&0u32.to_le_bytes());
+                    }
+                    Verdict::Classified(class) => {
+                        p.push(1);
+                        p.extend_from_slice(&(*class as u32).to_le_bytes());
+                    }
+                }
+                p.push(scheme_to_wire(*scheme));
+                p.push(u8::from(*degraded));
+                p.extend_from_slice(&queue_ns.to_le_bytes());
+                p.extend_from_slice(&infer_ns.to_le_bytes());
+                p.extend_from_slice(&batch.to_le_bytes());
+            }
+            Frame::Busy {
+                id,
+                reason,
+                retry_after_ms,
+            } => {
+                p.extend_from_slice(&id.to_le_bytes());
+                p.push(reason.to_wire());
+                p.extend_from_slice(&retry_after_ms.to_le_bytes());
+            }
+            Frame::Error { id, code, message } => {
+                p.extend_from_slice(&id.to_le_bytes());
+                p.push(code.to_wire());
+                let msg = message.as_bytes();
+                let len = msg.len().min(u16::MAX as usize);
+                p.extend_from_slice(&(len as u16).to_le_bytes());
+                p.extend_from_slice(msg.get(..len).unwrap_or_default());
+            }
+            Frame::Bye => {}
+        }
+        p
+    }
+
+    /// Parses exactly one frame from `buf`, which must contain the whole
+    /// frame and nothing else.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`FrameError`] for any malformation; see the module docs for
+    /// the strictness contract.
+    pub fn decode(buf: &[u8]) -> Result<Frame, FrameError> {
+        let (kind, payload_len) = decode_header(buf)?;
+        let payload = buf.get(HEADER_LEN..).unwrap_or_default();
+        if payload.len() != payload_len {
+            return Err(FrameError::LengthMismatch {
+                header: payload_len as u64,
+                actual: payload.len() as u64,
+            });
+        }
+        let stored_crc = read_u32(buf, 18)?;
+        decode_body(kind, payload, stored_crc)
+    }
+
+    /// Decodes a frame's body given an already-validated header. Used by
+    /// the streaming reader, which pulls the header and payload off the
+    /// socket separately.
+    ///
+    /// # Errors
+    ///
+    /// As [`decode`](Self::decode).
+    pub fn decode_body(kind: u8, payload: &[u8], stored_crc: u32) -> Result<Frame, FrameError> {
+        decode_body(kind, payload, stored_crc)
+    }
+}
+
+/// Writes one frame (header + payload) and flushes.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_frame<W: std::io::Write + ?Sized>(w: &mut W, frame: &Frame) -> std::io::Result<()> {
+    w.write_all(&frame.encode())?;
+    w.flush()
+}
+
+/// Reads exactly one frame. Payloads above `max_payload` are rejected
+/// *before* any allocation or payload read.
+///
+/// # Errors
+///
+/// [`crate::NetError::Closed`] on EOF at a frame boundary, `Io` on EOF or
+/// socket failure mid-frame, `Frame` for any codec rejection.
+pub fn read_frame<R: std::io::Read + ?Sized>(
+    r: &mut R,
+    max_payload: usize,
+) -> crate::Result<Frame> {
+    let mut header = [0u8; HEADER_LEN];
+    fill(r, &mut header, true)?;
+    let (kind, payload_len) = decode_header(&header)?;
+    if payload_len > max_payload {
+        return Err(FrameError::TooLarge {
+            len: payload_len as u64,
+            max: max_payload as u64,
+        }
+        .into());
+    }
+    let mut payload = vec![0u8; payload_len];
+    fill(r, &mut payload, false)?;
+    let stored_crc = read_u32(&header, 18)?;
+    Ok(Frame::decode_body(kind, &payload, stored_crc)?)
+}
+
+/// Fills `buf` completely. `at_boundary` selects whether EOF before the
+/// first byte is a clean close or a mid-frame truncation.
+fn fill<R: std::io::Read + ?Sized>(
+    r: &mut R,
+    buf: &mut [u8],
+    at_boundary: bool,
+) -> crate::Result<()> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let (_, rest) = buf.split_at_mut(filled);
+        let n = r.read(rest)?;
+        if n == 0 {
+            return Err(if at_boundary && filled == 0 {
+                crate::NetError::Closed
+            } else {
+                crate::NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof mid-frame",
+                ))
+            });
+        }
+        filled += n;
+    }
+    Ok(())
+}
+
+/// Validates the fixed header, returning `(kind, payload_len)`.
+///
+/// # Errors
+///
+/// Typed [`FrameError`] on truncation, bad magic/version/flags, or an
+/// unknown kind.
+pub fn decode_header(buf: &[u8]) -> Result<(u8, usize), FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Err(FrameError::Truncated {
+            have: buf.len(),
+            need: HEADER_LEN,
+        });
+    }
+    if buf.get(..8) != Some(FRAME_MAGIC.as_slice()) {
+        return Err(FrameError::BadMagic);
+    }
+    let version = read_u32(buf, 8)?;
+    if version != PROTOCOL_VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    let kind = *buf.get(12).unwrap_or(&0);
+    if !(1..=7).contains(&kind) {
+        return Err(FrameError::BadKind(kind));
+    }
+    let flags = *buf.get(13).unwrap_or(&0);
+    if flags != 0 {
+        return Err(FrameError::BadFlags(flags));
+    }
+    let payload_len = read_u32(buf, 14)? as usize;
+    Ok((kind, payload_len))
+}
+
+fn decode_body(kind: u8, payload: &[u8], stored_crc: u32) -> Result<Frame, FrameError> {
+    let computed = crc32(payload);
+    if stored_crc != computed {
+        return Err(FrameError::CrcMismatch {
+            stored: stored_crc,
+            computed,
+        });
+    }
+    let mut r = Reader::new(payload);
+    let frame = match kind {
+        1 => Frame::Hello {
+            tenant: r.u32()?,
+            key: r.u64()?,
+        },
+        2 => Frame::Welcome {
+            version: r.u32()?,
+            max_frame: r.u32()?,
+        },
+        3 => {
+            let id = r.u64()?;
+            let deadline_ms = r.u32()?;
+            let route = r.u32()?;
+            let sample = r.u32()?;
+            let rank = r.u8()? as usize;
+            if rank == 0 || rank > 8 {
+                return Err(FrameError::BadField("tensor rank"));
+            }
+            let mut dims = Vec::with_capacity(rank);
+            let mut volume: u64 = 1;
+            for _ in 0..rank {
+                let d = r.u32()?;
+                if d == 0 {
+                    return Err(FrameError::BadField("zero tensor dim"));
+                }
+                volume = volume.saturating_mul(u64::from(d));
+                dims.push(d);
+            }
+            // The remaining payload must carry exactly `volume` f32s; the
+            // byte budget was already capped by the reader's max length.
+            if volume.saturating_mul(4) != r.remaining() as u64 {
+                return Err(FrameError::BadField("tensor data length"));
+            }
+            let mut data = Vec::with_capacity(volume as usize);
+            for _ in 0..volume {
+                data.push(f32::from_le_bytes(r.u32()?.to_le_bytes()));
+            }
+            Frame::Request {
+                id,
+                deadline_ms,
+                route,
+                sample,
+                dims,
+                data,
+            }
+        }
+        4 => {
+            let id = r.u64()?;
+            let tag = r.u8()?;
+            let class = r.u32()?;
+            let verdict = match tag {
+                0 if class == 0 => Verdict::Detected,
+                1 => Verdict::Classified(class as usize),
+                _ => return Err(FrameError::BadField("verdict")),
+            };
+            Frame::Response {
+                id,
+                verdict,
+                scheme: scheme_from_wire(r.u8()?)?,
+                degraded: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(FrameError::BadField("degraded flag")),
+                },
+                queue_ns: r.u64()?,
+                infer_ns: r.u64()?,
+                batch: r.u32()?,
+            }
+        }
+        5 => Frame::Busy {
+            id: r.u64()?,
+            reason: BusyReason::from_wire(r.u8()?)?,
+            retry_after_ms: r.u32()?,
+        },
+        6 => {
+            let id = r.u64()?;
+            let code = WireErrorCode::from_wire(r.u8()?)?;
+            let len = r.u16()? as usize;
+            let raw = r.bytes(len)?;
+            let message = std::str::from_utf8(raw)
+                .map_err(|_| FrameError::BadField("error message utf8"))?
+                .to_string();
+            Frame::Error { id, code, message }
+        }
+        7 => Frame::Bye,
+        other => return Err(FrameError::BadKind(other)),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+fn read_u32(buf: &[u8], offset: usize) -> Result<u32, FrameError> {
+    buf.get(offset..offset + 4)
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .map(u32::from_le_bytes)
+        .ok_or(FrameError::Truncated {
+            have: buf.len(),
+            need: offset + 4,
+        })
+}
+
+/// Bounds-checked little-endian cursor over a payload slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self.pos.checked_add(n).ok_or(FrameError::Truncated {
+            have: self.buf.len(),
+            need: usize::MAX,
+        })?;
+        let s = self.buf.get(self.pos..end).ok_or(FrameError::Truncated {
+            have: self.buf.len(),
+            need: end,
+        })?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        self.bytes(1).map(|s| *s.first().unwrap_or(&0))
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        let s = self.bytes(2)?;
+        <[u8; 2]>::try_from(s)
+            .map(u16::from_le_bytes)
+            .map_err(|_| FrameError::BadField("u16"))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let s = self.bytes(4)?;
+        <[u8; 4]>::try_from(s)
+            .map(u32::from_le_bytes)
+            .map_err(|_| FrameError::BadField("u32"))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let s = self.bytes(8)?;
+        <[u8; 8]>::try_from(s)
+            .map(u64::from_le_bytes)
+            .map_err(|_| FrameError::BadField("u64"))
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::TrailingBytes {
+                extra: self.buf.len() - self.pos,
+            })
+        }
+    }
+}
+
+/// Why a frame was rejected. Every variant is a protocol-level decision the
+/// peer caused; none of them are recoverable for the frame in question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the structure requires.
+    Truncated {
+        /// Bytes available.
+        have: usize,
+        /// Bytes required.
+        need: usize,
+    },
+    /// The first 8 bytes are not [`FRAME_MAGIC`].
+    BadMagic,
+    /// Unknown protocol version.
+    BadVersion(u32),
+    /// Unknown frame kind discriminant.
+    BadKind(u8),
+    /// Reserved flags set (must be 0 in version 1).
+    BadFlags(u8),
+    /// Header length field disagrees with the bytes present.
+    LengthMismatch {
+        /// Length the header claims.
+        header: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// Payload checksum mismatch (corruption in flight).
+    CrcMismatch {
+        /// CRC stored in the header.
+        stored: u32,
+        /// CRC computed over the payload.
+        computed: u32,
+    },
+    /// The payload declared a larger frame than the peer accepts.
+    TooLarge {
+        /// Payload length the header claims.
+        len: u64,
+        /// The enforced cap.
+        max: u64,
+    },
+    /// Payload bytes left over after the structure was fully read.
+    TrailingBytes {
+        /// How many bytes were left.
+        extra: usize,
+    },
+    /// An in-range structural field held an out-of-range value.
+    BadField(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { have, need } => {
+                write!(f, "truncated frame: have {have} bytes, need {need}")
+            }
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::BadFlags(fl) => write!(f, "reserved flags set: {fl:#04x}"),
+            FrameError::LengthMismatch { header, actual } => {
+                write!(
+                    f,
+                    "length mismatch: header says {header}, buffer has {actual}"
+                )
+            }
+            FrameError::CrcMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "crc mismatch: stored {stored:08x}, computed {computed:08x}"
+                )
+            }
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the payload")
+            }
+            FrameError::BadField(what) => write!(f, "out-of-range field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                tenant: 7,
+                key: 0xDEAD_BEEF_CAFE_F00D,
+            },
+            Frame::Welcome {
+                version: PROTOCOL_VERSION,
+                max_frame: 1 << 20,
+            },
+            Frame::Request {
+                id: 42,
+                deadline_ms: 250,
+                route: 1,
+                sample: 9,
+                dims: vec![1, 4, 4],
+                data: (0..16).map(|i| i as f32 / 16.0).collect(),
+            },
+            Frame::Response {
+                id: 42,
+                verdict: Verdict::Classified(3),
+                scheme: DefenseScheme::Full,
+                degraded: false,
+                queue_ns: 1_000,
+                infer_ns: 2_000,
+                batch: 8,
+            },
+            Frame::Response {
+                id: 43,
+                verdict: Verdict::Detected,
+                scheme: DefenseScheme::DetectorOnly,
+                degraded: true,
+                queue_ns: 0,
+                infer_ns: 5,
+                batch: 1,
+            },
+            Frame::Busy {
+                id: 44,
+                reason: BusyReason::RateLimited,
+                retry_after_ms: 120,
+            },
+            Frame::Error {
+                id: 45,
+                code: WireErrorCode::Pipeline,
+                message: "detector failed".to_string(),
+            },
+            Frame::Bye,
+        ]
+    }
+
+    #[test]
+    fn every_kind_roundtrips() {
+        for frame in sample_frames() {
+            let bytes = frame.encode();
+            assert_eq!(Frame::decode(&bytes).unwrap(), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Frame::Bye.encode();
+        bytes.push(0);
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_rejected() {
+        let mut bytes = Frame::Hello { tenant: 1, key: 2 }.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(FrameError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn request_data_length_must_match_dims() {
+        let frame = Frame::Request {
+            id: 1,
+            deadline_ms: 0,
+            route: 0,
+            sample: 0,
+            dims: vec![2, 2],
+            data: vec![0.0; 5], // one extra value
+        };
+        let bytes = frame.encode();
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(FrameError::BadField("tensor data length"))
+        );
+    }
+
+    #[test]
+    fn zero_dims_and_zero_rank_rejected() {
+        for (dims, data) in [(vec![0u32, 4], vec![0.0f32; 0]), (vec![], vec![])] {
+            let bytes = Frame::Request {
+                id: 1,
+                deadline_ms: 0,
+                route: 0,
+                sample: 0,
+                dims,
+                data,
+            }
+            .encode();
+            assert!(Frame::decode(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn long_error_messages_are_clamped_not_lost() {
+        let frame = Frame::Error {
+            id: 1,
+            code: WireErrorCode::Internal,
+            message: "x".repeat(90_000),
+        };
+        let bytes = frame.encode();
+        match Frame::decode(&bytes).unwrap() {
+            Frame::Error { message, .. } => assert_eq!(message.len(), u16::MAX as usize),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

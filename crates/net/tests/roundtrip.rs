@@ -1,0 +1,451 @@
+//! End-to-end roundtrips over a real loopback socket: the full admission
+//! pipeline (auth → rate limit → deadline → engine), verdict parity with
+//! the in-process path, typed refusals, slow-loris eviction, and graceful
+//! drain — all against the deterministic stub pipeline in `common`.
+
+mod common;
+
+use adv_net::{
+    write_frame, BusyReason, ClientConfig, Frame, NetClient, NetError, NetServer, NetServerConfig,
+    Reply, TenantPolicy, TenantSpec, WireErrorCode,
+};
+use adv_serve::{ServeConfig, ServeEngine};
+use common::{item, stub_verdict, StubPipeline};
+use std::io::Write;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Duration;
+
+const KEY: u64 = 0x5EED_0F0F_1234_5678;
+
+fn tenant_policy(rate: f64, burst: f64) -> TenantPolicy {
+    TenantPolicy::Static(vec![TenantSpec {
+        tenant: 1,
+        key: KEY,
+        rate_per_sec: rate,
+        burst,
+    }])
+}
+
+fn engine_with(pipeline: StubPipeline) -> Arc<ServeEngine> {
+    let cfg = ServeConfig {
+        workers: 2,
+        max_wait: Duration::from_millis(1),
+        ..ServeConfig::default()
+    };
+    Arc::new(ServeEngine::start(Arc::new(pipeline), cfg).expect("engine start"))
+}
+
+/// Engine with its *own* batch retry disabled, so transient failures
+/// surface to the front door and exercise the net-level retry path.
+fn engine_no_engine_retry(pipeline: StubPipeline) -> Arc<ServeEngine> {
+    let cfg = ServeConfig {
+        workers: 2,
+        max_wait: Duration::from_millis(1),
+        max_retries: 0,
+        ..ServeConfig::default()
+    };
+    Arc::new(ServeEngine::start(Arc::new(pipeline), cfg).expect("engine start"))
+}
+
+fn serve(engine: &Arc<ServeEngine>, cfg: NetServerConfig) -> NetServer {
+    NetServer::start(engine.clone(), "127.0.0.1:0", cfg).expect("server start")
+}
+
+fn connect(server: &NetServer) -> adv_net::Result<NetClient> {
+    NetClient::connect(server.addr(), 1, KEY, ClientConfig::default())
+}
+
+/// After the server (the only other holder) is gone, unwrap the engine and
+/// shut it down so worker threads are joined before the test exits.
+fn stop_engine(engine: Arc<ServeEngine>) {
+    if let Ok(engine) = Arc::try_unwrap(engine) {
+        engine.shutdown();
+    }
+}
+
+#[test]
+fn wire_verdicts_match_the_in_process_path() {
+    let engine = engine_with(StubPipeline::default());
+    let server = serve(
+        &engine,
+        NetServerConfig {
+            tenants: tenant_policy(1e6, 1e6),
+            ..NetServerConfig::default()
+        },
+    );
+    let mut client = connect(&server).expect("connect");
+    for offset in 0..24 {
+        let input = item(offset);
+        let expected = stub_verdict(input.as_slice());
+        match client.classify(&input, 0, offset as u32, 0).expect("reply") {
+            Reply::Verdict { verdict, .. } => {
+                assert_eq!(verdict, expected, "offset {offset}");
+            }
+            Reply::Busy { reason, .. } => panic!("unexpected busy: {reason}"),
+        }
+    }
+    client.bye().expect("bye");
+    let snap = server.shutdown();
+    stop_engine(engine);
+    assert_eq!(snap.requests, 24);
+    assert_eq!(snap.accepted, 24);
+    assert_eq!(snap.answered, 24);
+    assert!(snap.accounting_holds(), "{snap:?}");
+    assert_eq!(snap.connections_accepted, 1);
+}
+
+#[test]
+fn wrong_key_is_refused_with_a_typed_auth_error() {
+    let engine = engine_with(StubPipeline::default());
+    let server = serve(
+        &engine,
+        NetServerConfig {
+            tenants: tenant_policy(1e6, 1e6),
+            ..NetServerConfig::default()
+        },
+    );
+    match NetClient::connect(server.addr(), 1, KEY ^ 1, ClientConfig::default()) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, WireErrorCode::Auth),
+        other => panic!("expected auth rejection, got {other:?}"),
+    }
+    match NetClient::connect(server.addr(), 777, KEY, ClientConfig::default()) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, WireErrorCode::Auth),
+        other => panic!("expected unknown-tenant rejection, got {other:?}"),
+    }
+    let snap = server.shutdown();
+    stop_engine(engine);
+    assert_eq!(snap.auth_failures, 2);
+    assert_eq!(snap.accepted, 0, "refused sessions never reach the engine");
+}
+
+#[test]
+fn token_bucket_rejects_with_retry_hint_and_refills() {
+    let engine = engine_with(StubPipeline::default());
+    let server = serve(
+        &engine,
+        NetServerConfig {
+            // 20 tokens/sec, burst 2: two immediate requests pass, the
+            // third is refused with a ~50ms retry hint, and after waiting
+            // out the hint a retry passes.
+            tenants: tenant_policy(20.0, 2.0),
+            ..NetServerConfig::default()
+        },
+    );
+    let mut client = connect(&server).expect("connect");
+    for offset in 0..2 {
+        match client.classify(&item(offset), 0, 0, 0).expect("reply") {
+            Reply::Verdict { .. } => {}
+            Reply::Busy { reason, .. } => panic!("burst request {offset} refused: {reason}"),
+        }
+    }
+    let hint = match client.classify(&item(2), 0, 0, 0).expect("reply") {
+        Reply::Busy {
+            reason,
+            retry_after_ms,
+        } => {
+            assert_eq!(reason, BusyReason::RateLimited);
+            assert!(retry_after_ms >= 1, "hint must be nonzero");
+            retry_after_ms
+        }
+        Reply::Verdict { .. } => panic!("third burst request should be rate limited"),
+    };
+    std::thread::sleep(Duration::from_millis(u64::from(hint) + 20));
+    match client.classify(&item(2), 0, 0, 0).expect("reply") {
+        Reply::Verdict { .. } => {}
+        Reply::Busy { reason, .. } => panic!("post-refill request refused: {reason}"),
+    }
+    let snap = server.shutdown();
+    stop_engine(engine);
+    assert_eq!(snap.busy, 1);
+    assert_eq!(snap.rate_limited, 1);
+    assert!(snap.accounting_holds(), "{snap:?}");
+}
+
+#[test]
+fn client_deadline_expires_into_a_typed_error_and_shed_accounting() {
+    let engine = engine_with(StubPipeline {
+        delay: Duration::from_millis(400),
+        fail_next: AtomicU64::new(0),
+    });
+    let server = serve(
+        &engine,
+        NetServerConfig {
+            tenants: tenant_policy(1e6, 1e6),
+            wait_slack: Duration::from_millis(100),
+            ..NetServerConfig::default()
+        },
+    );
+    let mut client = connect(&server).expect("connect");
+    match client.classify(&item(0), 0, 0, 40) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, WireErrorCode::DeadlineExpired),
+        other => panic!("expected deadline expiry, got {other:?}"),
+    }
+    // The connection survives a shed request; a patient follow-up passes.
+    match client.classify(&item(1), 0, 1, 5_000).expect("reply") {
+        Reply::Verdict { .. } => {}
+        Reply::Busy { reason, .. } => panic!("follow-up refused: {reason}"),
+    }
+    let snap = server.shutdown();
+    stop_engine(engine);
+    assert_eq!(snap.shed_expired, 1);
+    assert_eq!(snap.answered, 1);
+    assert_eq!(snap.accepted, 2);
+    assert!(snap.accounting_holds(), "{snap:?}");
+}
+
+#[test]
+fn transient_pipeline_failures_are_retried_server_side() {
+    let engine = engine_no_engine_retry(StubPipeline {
+        delay: Duration::ZERO,
+        // Exactly one injected failure: the first batch errors, the
+        // server-side resubmit succeeds.
+        fail_next: AtomicU64::new(1),
+    });
+    let server = serve(
+        &engine,
+        NetServerConfig {
+            tenants: tenant_policy(1e6, 1e6),
+            max_retries: 3,
+            ..NetServerConfig::default()
+        },
+    );
+    let mut client = connect(&server).expect("connect");
+    let input = item(5);
+    match client.classify(&input, 0, 5, 0).expect("reply") {
+        Reply::Verdict { verdict, .. } => assert_eq!(verdict, stub_verdict(input.as_slice())),
+        Reply::Busy { reason, .. } => panic!("refused: {reason}"),
+    }
+    let snap = server.shutdown();
+    stop_engine(engine);
+    assert!(snap.retries >= 1, "{snap:?}");
+    assert_eq!(snap.accepted, 1, "retries must not re-count admission");
+    assert!(snap.accounting_holds(), "{snap:?}");
+}
+
+#[test]
+fn exhausted_retries_surface_a_typed_pipeline_error() {
+    let engine = engine_no_engine_retry(StubPipeline {
+        delay: Duration::ZERO,
+        fail_next: AtomicU64::new(50),
+    });
+    let server = serve(
+        &engine,
+        NetServerConfig {
+            tenants: tenant_policy(1e6, 1e6),
+            max_retries: 1,
+            ..NetServerConfig::default()
+        },
+    );
+    let mut client = connect(&server).expect("connect");
+    match client.classify(&item(0), 0, 0, 0) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, WireErrorCode::Pipeline),
+        other => panic!("expected pipeline error, got {other:?}"),
+    }
+    let snap = server.shutdown();
+    stop_engine(engine);
+    assert!(snap.accounting_holds(), "{snap:?}");
+    assert_eq!(snap.answered, 1, "typed errors still count as answered");
+}
+
+#[test]
+fn draining_refuses_requests_and_new_connections() {
+    let engine = engine_with(StubPipeline::default());
+    let server = serve(
+        &engine,
+        NetServerConfig {
+            tenants: tenant_policy(1e6, 1e6),
+            ..NetServerConfig::default()
+        },
+    );
+    let mut client = connect(&server).expect("connect");
+    match client.classify(&item(0), 0, 0, 0).expect("reply") {
+        Reply::Verdict { .. } => {}
+        Reply::Busy { reason, .. } => panic!("refused before drain: {reason}"),
+    }
+    engine.begin_drain();
+    // In-flight session: the next request is refused with Draining and the
+    // server closes the connection after delivering the refusal.
+    match client.classify(&item(1), 0, 1, 0) {
+        Ok(Reply::Busy { reason, .. }) => assert_eq!(reason, BusyReason::Draining),
+        other => panic!("expected draining refusal, got {other:?}"),
+    }
+    // New connection: refused at the door.
+    match connect(&server) {
+        Err(NetError::Refused { reason, .. }) => assert_eq!(reason, BusyReason::Draining),
+        other => panic!("expected door refusal, got {other:?}"),
+    }
+    let snap = server.shutdown();
+    stop_engine(engine);
+    assert_eq!(snap.connections_refused, 1);
+    assert!(snap.busy >= 1);
+    assert!(snap.accounting_holds(), "{snap:?}");
+}
+
+#[test]
+fn connection_cap_refuses_with_overloaded() {
+    let engine = engine_with(StubPipeline::default());
+    let server = serve(
+        &engine,
+        NetServerConfig {
+            max_connections: 1,
+            tenants: tenant_policy(1e6, 1e6),
+            ..NetServerConfig::default()
+        },
+    );
+    let holder = connect(&server).expect("first connection");
+    match connect(&server) {
+        Err(NetError::Refused {
+            reason,
+            retry_after_ms,
+        }) => {
+            assert_eq!(reason, BusyReason::Overloaded);
+            assert!(retry_after_ms >= 1);
+        }
+        other => panic!("expected overloaded refusal, got {other:?}"),
+    }
+    drop(holder);
+    let snap = server.shutdown();
+    stop_engine(engine);
+    assert_eq!(snap.connections_accepted, 1);
+    assert_eq!(snap.connections_refused, 1);
+}
+
+#[test]
+fn oversized_request_is_rejected_with_too_large() {
+    let engine = engine_with(StubPipeline::default());
+    let server = serve(
+        &engine,
+        NetServerConfig {
+            // Welcome advertises this; the client below ignores it on
+            // purpose, as a hostile client would.
+            max_frame_bytes: 128,
+            tenants: tenant_policy(1e6, 1e6),
+            ..NetServerConfig::default()
+        },
+    );
+    let mut client = connect(&server).expect("connect");
+    assert_eq!(client.server_max_frame(), 128);
+    match client.classify(&item(0), 0, 0, 0) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, WireErrorCode::TooLarge),
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+    let snap = server.shutdown();
+    stop_engine(engine);
+    assert_eq!(snap.frame_errors, 1);
+    assert_eq!(snap.accepted, 0);
+}
+
+#[test]
+fn slow_loris_dribbler_is_evicted() {
+    let engine = engine_with(StubPipeline::default());
+    let server = serve(
+        &engine,
+        NetServerConfig {
+            handshake_timeout: Duration::from_millis(150),
+            frame_timeout: Duration::from_millis(150),
+            tenants: tenant_policy(1e6, 1e6),
+            ..NetServerConfig::default()
+        },
+    );
+    let addr = server.addr();
+    let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+    // Dribble half a Hello frame, then stall past the frame timeout.
+    let hello = Frame::Hello {
+        tenant: 1,
+        key: KEY,
+    }
+    .encode();
+    raw.write_all(hello.get(..10).expect("prefix"))
+        .expect("dribble");
+    raw.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(600));
+    let snap = server.metrics();
+    assert_eq!(snap.evicted_slow, 1, "{snap:?}");
+    drop(raw);
+    // The door still serves honest clients afterwards.
+    let mut client = connect(&server).expect("connect after eviction");
+    match client.classify(&item(0), 0, 0, 0).expect("reply") {
+        Reply::Verdict { .. } => {}
+        Reply::Busy { reason, .. } => panic!("refused: {reason}"),
+    }
+    let snap = server.shutdown();
+    stop_engine(engine);
+    assert!(snap.accounting_holds(), "{snap:?}");
+}
+
+#[test]
+fn malformed_frame_kind_mid_session_gets_a_typed_error() {
+    let engine = engine_with(StubPipeline::default());
+    let server = serve(
+        &engine,
+        NetServerConfig {
+            tenants: tenant_policy(1e6, 1e6),
+            ..NetServerConfig::default()
+        },
+    );
+    let addr = server.addr();
+    let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+    raw.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    write_frame(
+        &mut raw,
+        &Frame::Hello {
+            tenant: 1,
+            key: KEY,
+        },
+    )
+    .expect("hello");
+    match adv_net::read_frame(&mut raw, 16 << 20).expect("welcome") {
+        Frame::Welcome { .. } => {}
+        other => panic!("expected Welcome, got {other:?}"),
+    }
+    // A server-only frame from the client is a protocol violation.
+    write_frame(
+        &mut raw,
+        &Frame::Busy {
+            id: 1,
+            reason: BusyReason::QueueFull,
+            retry_after_ms: 1,
+        },
+    )
+    .expect("rogue frame");
+    match adv_net::read_frame(&mut raw, 16 << 20).expect("error reply") {
+        Frame::Error { code, .. } => assert_eq!(code, WireErrorCode::Malformed),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    let snap = server.shutdown();
+    stop_engine(engine);
+    assert!(snap.accounting_holds(), "{snap:?}");
+}
+
+#[test]
+fn shutdown_answers_in_flight_work_before_joining() {
+    let engine = engine_with(StubPipeline {
+        delay: Duration::from_millis(100),
+        fail_next: AtomicU64::new(0),
+    });
+    let server = serve(
+        &engine,
+        NetServerConfig {
+            tenants: tenant_policy(1e6, 1e6),
+            ..NetServerConfig::default()
+        },
+    );
+    let addr = server.addr();
+    let worker = std::thread::spawn(move || {
+        let mut client = NetClient::connect(addr, 1, KEY, ClientConfig::default())?;
+        client.classify(&item(3), 0, 3, 5_000)
+    });
+    // Let the request enter the engine, then shut down underneath it.
+    std::thread::sleep(Duration::from_millis(30));
+    let snap = server.shutdown();
+    stop_engine(engine);
+    let reply = worker.join().expect("client thread");
+    match reply {
+        Ok(Reply::Verdict { .. }) => {}
+        other => panic!("in-flight request must be answered, got {other:?}"),
+    }
+    assert!(snap.accounting_holds(), "{snap:?}");
+    assert_eq!(snap.answered, 1);
+}

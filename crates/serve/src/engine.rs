@@ -393,6 +393,18 @@ impl ServeEngine {
         self.shared.metrics.obs_snapshot().to_json()
     }
 
+    /// Begins a graceful drain: the queue stops accepting new requests
+    /// (submissions return [`ServeError::ShuttingDown`]) while workers keep
+    /// answering everything already accepted, and [`health`](Self::health)
+    /// reports [`EngineHealth::Draining`] so front ends (e.g. a network
+    /// listener) can refuse new connects instead of racing the queue close.
+    /// Idempotent; [`shutdown`](Self::shutdown) or drop still joins the
+    /// workers afterwards.
+    pub fn begin_drain(&self) {
+        self.shared.health.set_draining();
+        self.shared.queue.close();
+    }
+
     /// Stops accepting work, drains every queued request, joins the workers,
     /// and returns the final metrics.
     pub fn shutdown(mut self) -> MetricsSnapshot {

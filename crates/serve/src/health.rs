@@ -18,6 +18,11 @@ pub enum EngineHealth {
     /// The engine is serving, but a worker was recently respawned or the
     /// pipeline is running a reduced defense scheme.
     Degraded,
+    /// A graceful shutdown is in progress: the queue is closed, already
+    /// accepted requests are still being answered, and new submissions are
+    /// refused. Front ends (e.g. `adv-net`'s listener) use this to refuse
+    /// new connects instead of racing the queue close.
+    Draining,
     /// The restart budget is exhausted; the queue is closed and every
     /// unanswered request has been failed. Terminal.
     Failed,
@@ -28,6 +33,7 @@ impl std::fmt::Display for EngineHealth {
         match self {
             EngineHealth::Healthy => write!(f, "healthy"),
             EngineHealth::Degraded => write!(f, "degraded"),
+            EngineHealth::Draining => write!(f, "draining"),
             EngineHealth::Failed => write!(f, "failed"),
         }
     }
@@ -76,6 +82,7 @@ impl RestartPolicy {
 pub(crate) struct HealthState {
     epoch: Instant,
     failed: AtomicBool,
+    draining: AtomicBool,
     degraded_until_ns: AtomicU64,
 }
 
@@ -87,6 +94,7 @@ impl HealthState {
             // feature of this module.
             epoch: Instant::now(),
             failed: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             degraded_until_ns: AtomicU64::new(0),
         }
     }
@@ -116,10 +124,23 @@ impl HealthState {
         self.failed.load(Ordering::Relaxed)
     }
 
+    /// Marks a graceful drain as in progress. One-way: `Draining` is only
+    /// superseded by `Failed`.
+    pub(crate) fn set_draining(&self) {
+        // lint-ok(ordering-justified): one-way latch; a reader that sees it
+        // late submits one more request and gets ShuttingDown from the
+        // closed queue — the same refusal, one hop later.
+        self.draining.store(true, Ordering::Relaxed);
+    }
+
     /// Folds the flags (plus the breaker's state) into one health value.
     pub(crate) fn health(&self, breaker_open: bool) -> EngineHealth {
         if self.is_failed() {
             return EngineHealth::Failed;
+        }
+        // lint-ok(ordering-justified): see `set_draining` — one-way latch.
+        if self.draining.load(Ordering::Relaxed) {
+            return EngineHealth::Draining;
         }
         let degraded_until = self.degraded_until_ns.load(Ordering::Relaxed);
         if breaker_open || self.now_ns() < degraded_until {
@@ -177,7 +198,20 @@ mod tests {
     #[test]
     fn health_is_ordered_for_monotonicity_checks() {
         assert!(EngineHealth::Healthy < EngineHealth::Degraded);
-        assert!(EngineHealth::Degraded < EngineHealth::Failed);
+        assert!(EngineHealth::Degraded < EngineHealth::Draining);
+        assert!(EngineHealth::Draining < EngineHealth::Failed);
         assert_eq!(EngineHealth::Degraded.to_string(), "degraded");
+        assert_eq!(EngineHealth::Draining.to_string(), "draining");
+    }
+
+    #[test]
+    fn draining_overrides_degraded_but_not_failed() {
+        let h = HealthState::new();
+        h.mark_degraded(Duration::from_secs(60));
+        h.set_draining();
+        assert_eq!(h.health(false), EngineHealth::Draining);
+        assert_eq!(h.health(true), EngineHealth::Draining);
+        h.set_failed();
+        assert_eq!(h.health(false), EngineHealth::Failed);
     }
 }
