@@ -70,6 +70,7 @@ fn bench_net_roundtrip(c: &mut Criterion) {
         deadline_ms: 0,
         route: 0,
         sample: 0,
+        variant: 0,
         dims: vec![1, 8, 8],
         data: x.as_slice().to_vec(),
     };

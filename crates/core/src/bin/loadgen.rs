@@ -6,11 +6,14 @@
 //! promises, in two phases:
 //!
 //! * **Phase A — parity.** Every corpus sample is classified over the wire
-//!   at least once; every wire verdict must equal the in-process verdict
-//!   for the same sample, so the attack success rate cannot diverge
-//!   between the two paths. Tenant token buckets are tight enough that a
-//!   deliberately bursty tenant surfaces `RateLimited` refusals, which
-//!   honest retry-after-hint clients absorb without losing samples.
+//!   at least once, served through a `ModelZoo`'s default variant (the
+//!   production routing seam); every wire verdict must equal the
+//!   in-process verdict for the same sample, so the attack success rate
+//!   cannot diverge between the two paths, and the registry's per-variant
+//!   accounting identity must hold at quiescence. Tenant token buckets are
+//!   tight enough that a deliberately bursty tenant surfaces `RateLimited`
+//!   refusals, which honest retry-after-hint clients absorb without losing
+//!   samples.
 //! * **Phase B — storm.** The defense is wrapped in a seeded
 //!   `FaultyDefense` that fails the reformer stage, so the engine's
 //!   breaker degrades the scheme; the degradation must be visible in the
@@ -36,8 +39,9 @@ use adv_net::{
     derived_key, BusyReason, ClientConfig, NetClient, NetMetricsSnapshot, NetServer,
     NetServerConfig, Reply, TenantPolicy,
 };
-use adv_serve::{ServeConfig, ServeEngine};
+use adv_serve::{ServeConfig, ServeEngine, VariantRouter, DEFAULT_VARIANT};
 use adv_tensor::Tensor;
+use adv_zoo::{ModelZoo, NullLoader, ZooConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Duration;
@@ -111,11 +115,16 @@ struct PhaseA {
     mismatches: usize,
     net: NetMetricsSnapshot,
     wire_asr: f64,
+    zoo_accounting_holds: bool,
+    zoo_routing_epoch: u64,
 }
 
 /// Phase A: `tenants` sessions spread over `threads` workers, each
 /// classifying its round-robin slice of the corpus; a bursty tenant then
-/// slams its token bucket to prove rate limiting fires.
+/// slams its token bucket to prove rate limiting fires. The corpus is
+/// served through a `ModelZoo`'s default variant — the production routing
+/// seam — rather than a bare engine, so the parity checks also cover the
+/// registry's routing-table hop.
 #[allow(clippy::too_many_lines)]
 fn phase_a(
     defense: Arc<MagnetDefense>,
@@ -124,18 +133,19 @@ fn phase_a(
     tenants: usize,
     threads: usize,
 ) -> Result<PhaseA, Box<dyn std::error::Error>> {
-    let engine = Arc::new(ServeEngine::start(
-        defense,
-        ServeConfig {
-            workers: 2,
-            max_batch: 32,
-            max_wait: Duration::from_millis(2),
-            queue_capacity: 512,
-            ..ServeConfig::default()
-        },
-    )?);
+    let zoo_root = std::env::temp_dir().join(format!("loadgen_zoo_{}", std::process::id()));
+    let mut zoo_cfg = ZooConfig::new(&zoo_root);
+    zoo_cfg.shard = ServeConfig {
+        workers: 2,
+        max_batch: 32,
+        max_wait: Duration::from_millis(2),
+        queue_capacity: 512,
+        ..ServeConfig::default()
+    };
+    let zoo = Arc::new(ModelZoo::open(Arc::new(NullLoader), zoo_cfg)?);
+    zoo.install(DEFAULT_VARIANT, defense)?;
     let server = NetServer::start(
-        engine.clone(),
+        zoo.clone(),
         "127.0.0.1:0",
         NetServerConfig {
             max_connections: threads * 2 + 8,
@@ -243,7 +253,14 @@ fn phase_a(
     let _ = bounced; // visible via net.rate_limited below
 
     let net = server.shutdown();
-    drop(engine);
+    let zoo_metrics = zoo
+        .variant_metrics(DEFAULT_VARIANT)
+        .ok_or("default variant vanished from the routing table")?;
+    let zoo_accounting_holds = zoo_metrics.submitted
+        == zoo_metrics.completed + zoo_metrics.failed + zoo_metrics.shed_expired;
+    let zoo_routing_epoch = zoo.routing_epoch();
+    drop(zoo);
+    let _ = std::fs::remove_dir_all(&zoo_root);
 
     let slots = results.lock().unwrap_or_else(|e| e.into_inner());
     let wire: Vec<Verdict> = slots.iter().flatten().cloned().collect();
@@ -271,6 +288,8 @@ fn phase_a(
         mismatches: mismatches.load(Ordering::Relaxed),
         net,
         wire_asr,
+        zoo_accounting_holds,
+        zoo_routing_epoch,
     })
 }
 
@@ -442,6 +461,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("asr_parity", (a.wire_asr - inproc_asr).abs() < 1e-9),
         ("rate_limit_visible", a.net.rate_limited > 0),
         ("accounting_phase_a", a.net.accounting_holds()),
+        ("zoo_accounting", a.zoo_accounting_holds),
+        ("zoo_table_stable", a.zoo_routing_epoch == 1),
         ("breaker_degradation_visible", b.degraded_replies > 0),
         ("connect_flood_refused", b.net.connections_refused > 0),
         ("accounting_phase_b", b.net.accounting_holds()),

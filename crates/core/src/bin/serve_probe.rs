@@ -18,8 +18,9 @@ use adv_eval::config::CliArgs;
 use adv_eval::sweep::{AttackKind, SweepRunner};
 use adv_eval::zoo::{Scenario, Variant, Zoo};
 use adv_magnet::{DefenseScheme, MagnetDefense, Verdict};
-use adv_serve::{ServeConfig, ServeEngine};
+use adv_serve::{RequestTag, ServeConfig, ServeEngine, VariantRouter, DEFAULT_VARIANT};
 use adv_tensor::Tensor;
+use adv_zoo::{ModelZoo, NullLoader, ZooConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -138,6 +139,56 @@ fn run_served(
     })
 }
 
+/// The registry path: the same corpus routed through a `ModelZoo`'s
+/// default variant — the seam `adv-net` serves in production. Verdicts
+/// must be bit-identical to the serial path (asserted in `main`).
+fn run_zoo(
+    defense: Arc<MagnetDefense>,
+    samples: &[Sample],
+) -> Result<PathReport, Box<dyn std::error::Error>> {
+    let root = std::env::temp_dir().join(format!("serve_probe_zoo_{}", std::process::id()));
+    let mut cfg = ZooConfig::new(&root);
+    cfg.shard = ServeConfig {
+        max_batch: MAX_BATCH,
+        max_wait: Duration::from_millis(2),
+        queue_capacity: samples.len().max(1),
+        workers: 1,
+        scheme: DefenseScheme::Full,
+        ..ServeConfig::default()
+    };
+    let zoo = ModelZoo::open(Arc::new(NullLoader), cfg)?;
+    zoo.install(DEFAULT_VARIANT, defense)?;
+    // lint-ok(gated-clocks): serving throughput over wall-clock is what the probe measures
+    let started = Instant::now();
+    let pending: Vec<_> = samples
+        .iter()
+        .map(|s| {
+            zoo.submit_routed(
+                DEFAULT_VARIANT,
+                s.input.clone(),
+                RequestTag::default(),
+                Duration::from_secs(60),
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    let verdicts: Vec<Verdict> = pending
+        .into_iter()
+        .map(|p| p.wait().map(|r| r.verdict))
+        .collect::<Result<_, _>>()?;
+    let elapsed = started.elapsed();
+    let metrics = zoo
+        .variant_metrics(DEFAULT_VARIANT)
+        .ok_or("default variant vanished from the routing table")?;
+    drop(zoo);
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(PathReport {
+        verdicts,
+        elapsed,
+        p50: metrics.p50_latency,
+        p99: metrics.p99_latency,
+    })
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = CliArgs::from_env();
     let obs = adv_eval::obs::ObsSession::from_args(&args);
@@ -178,14 +229,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         let serial = run_serial(&defense, samples)?;
         let served = run_served(defense.clone(), samples)?;
+        let routed = run_zoo(defense.clone(), samples)?;
         serial.print("serial", samples);
         served.print("served", samples);
+        routed.print("zoo", samples);
         assert_eq!(
             serial.verdicts, served.verdicts,
             "served verdicts diverged from serial on {label}"
         );
+        assert_eq!(
+            serial.verdicts, routed.verdicts,
+            "zoo-routed verdicts diverged from serial on {label}"
+        );
         println!(
-            "  verdicts identical; speedup {:.2}x",
+            "  verdicts identical (serial = served = zoo); speedup {:.2}x",
             serial.elapsed.as_secs_f64() / served.elapsed.as_secs_f64()
         );
         total += serial.elapsed;

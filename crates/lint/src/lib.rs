@@ -134,8 +134,9 @@ impl LintConfig {
                 "adv-telemetry",
                 "adv-profile",
                 "adv-net",
+                "adv-zoo",
             ]),
-            index_check_crates: s(&["adv-serve", "adv-obs", "adv-chaos", "adv-net"]),
+            index_check_crates: s(&["adv-serve", "adv-obs", "adv-chaos", "adv-net", "adv-zoo"]),
             clock_crates: s(&[
                 "adv-tensor",
                 "adv-nn",
@@ -150,6 +151,7 @@ impl LintConfig {
                 "adv-telemetry",
                 "adv-profile",
                 "adv-net",
+                "adv-zoo",
             ]),
         }
     }

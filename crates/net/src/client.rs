@@ -7,6 +7,7 @@
 use crate::frame::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
 use crate::{BusyReason, NetError};
 use adv_magnet::{DefenseScheme, Verdict};
+use adv_serve::{EngineHealth, RouteInfo, DEFAULT_VARIANT};
 use adv_tensor::Tensor;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -62,6 +63,17 @@ pub enum Reply {
     },
 }
 
+/// One `StatusQuery` answer: the server's health and live routing table.
+#[derive(Debug, Clone)]
+pub struct ServerStatus {
+    /// Aggregate engine (or zoo) health.
+    pub health: EngineHealth,
+    /// Routing-table epoch; increments on every hot-swap flip.
+    pub epoch: u64,
+    /// The live routing table: one entry per servable variant.
+    pub routes: Vec<RouteInfo>,
+}
+
 /// A blocking connection to a [`crate::NetServer`].
 #[derive(Debug)]
 pub struct NetClient {
@@ -70,6 +82,10 @@ pub struct NetClient {
     next_id: u64,
     /// Largest frame the server said it accepts.
     max_frame: u32,
+    /// Health the server reported at handshake time.
+    health: EngineHealth,
+    /// Routing table the server reported at handshake time.
+    routes: Vec<RouteInfo>,
 }
 
 impl NetClient {
@@ -98,14 +114,23 @@ impl NetClient {
             cfg,
             next_id: 1,
             max_frame: 0,
+            health: EngineHealth::Healthy,
+            routes: Vec::new(),
         };
         write_frame(&mut client.stream, &Frame::Hello { tenant, key })?;
         match client.read_reply()? {
-            Frame::Welcome { version, max_frame } => {
+            Frame::Welcome {
+                version,
+                max_frame,
+                health,
+                routes,
+            } => {
                 if version != PROTOCOL_VERSION {
                     return Err(NetError::Protocol("server speaks a different version"));
                 }
                 client.max_frame = max_frame;
+                client.health = health;
+                client.routes = routes;
                 Ok(client)
             }
             Frame::Busy {
@@ -136,6 +161,24 @@ impl NetClient {
         sample: u32,
         deadline_ms: u32,
     ) -> crate::Result<Reply> {
+        self.classify_variant(input, route, sample, DEFAULT_VARIANT, deadline_ms)
+    }
+
+    /// Classifies one input against a specific model-zoo variant. A
+    /// variant missing from the live routing table answers
+    /// `Busy(VariantUnavailable)` as a normal [`Reply`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`classify`](Self::classify).
+    pub fn classify_variant(
+        &mut self,
+        input: &Tensor,
+        route: u32,
+        sample: u32,
+        variant: u32,
+        deadline_ms: u32,
+    ) -> crate::Result<Reply> {
         let id = self.next_id;
         self.next_id += 1;
         let dims: Vec<u32> = input
@@ -149,6 +192,7 @@ impl NetClient {
             deadline_ms,
             route,
             sample,
+            variant,
             dims,
             data: input.as_slice().to_vec(),
         };
@@ -191,6 +235,46 @@ impl NetClient {
     /// The largest frame payload the server accepts, from its `Welcome`.
     pub fn server_max_frame(&self) -> u32 {
         self.max_frame
+    }
+
+    /// Engine health the server reported in its `Welcome`.
+    pub fn server_health(&self) -> EngineHealth {
+        self.health
+    }
+
+    /// The routing table the server reported in its `Welcome` (one entry
+    /// per live variant; a bare engine reports a single default route).
+    pub fn server_routes(&self) -> &[RouteInfo] {
+        &self.routes
+    }
+
+    /// Asks the server for its current health, routing epoch, and live
+    /// routing table (a `StatusQuery`/`Status` exchange). Also refreshes
+    /// the cached [`server_health`](Self::server_health) and
+    /// [`server_routes`](Self::server_routes).
+    ///
+    /// # Errors
+    ///
+    /// Socket and codec failures, or a non-`Status` reply.
+    pub fn status(&mut self) -> crate::Result<ServerStatus> {
+        write_frame(&mut self.stream, &Frame::StatusQuery)?;
+        match self.read_reply()? {
+            Frame::Status {
+                health,
+                epoch,
+                routes,
+            } => {
+                self.health = health;
+                self.routes = routes.clone();
+                Ok(ServerStatus {
+                    health,
+                    epoch,
+                    routes,
+                })
+            }
+            Frame::Error { code, message, .. } => Err(NetError::Remote { code, message }),
+            _ => Err(NetError::Protocol("expected Status")),
+        }
     }
 
     /// Ends the session cleanly.

@@ -7,13 +7,20 @@
 //!
 //! ```text
 //! magic   "ADVNET1\0"  8 bytes
-//! version u32          currently 1
+//! version u32          currently 2
 //! kind    u8           frame kind discriminant
-//! flags   u8           must be 0 in version 1
+//! flags   u8           must be 0 in version 2
 //! length  u32          payload byte count
 //! crc32   u32          CRC32 of the payload
 //! payload [u8; length]
 //! ```
+//!
+//! Version 2 (the model-zoo protocol) added the `variant` routing key to
+//! `Request`, engine health plus the live routing table to `Welcome`, the
+//! `StatusQuery`/`Status` pair for mid-session observation, and the
+//! `VariantUnavailable` busy reason. Version-1 peers are rejected at the
+//! header (`BadVersion`) — both ends of this protocol live in this
+//! workspace, so there is no compatibility shim.
 //!
 //! Validation is strict: wrong magic, unknown version or kind, nonzero
 //! flags, a length that does not match the buffer, trailing bytes after the
@@ -23,13 +30,18 @@
 //! valid frame.
 
 use adv_magnet::{DefenseScheme, Verdict};
+use adv_serve::{EngineHealth, RouteInfo};
 use adv_store::crc32;
 
 /// The frame magic (8 bytes, NUL-padded).
 pub const FRAME_MAGIC: &[u8; 8] = b"ADVNET1\0";
 
 /// Protocol version this build speaks.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Routing-table entries a `Welcome`/`Status` frame may carry — a sanity
+/// bound, far above any realistic variant count.
+pub const MAX_ROUTES: usize = 1024;
 
 /// Bytes in the fixed frame header.
 pub const HEADER_LEN: usize = 8 + 4 + 1 + 1 + 4 + 4;
@@ -48,6 +60,9 @@ pub enum BusyReason {
     Draining,
     /// The server is at its concurrent-connection cap.
     Overloaded,
+    /// The requested variant is not in the live routing table (unknown,
+    /// retired, or its shard has failed); other variants may still serve.
+    VariantUnavailable,
 }
 
 impl BusyReason {
@@ -57,6 +72,7 @@ impl BusyReason {
             BusyReason::QueueFull => 2,
             BusyReason::Draining => 3,
             BusyReason::Overloaded => 4,
+            BusyReason::VariantUnavailable => 5,
         }
     }
 
@@ -66,6 +82,7 @@ impl BusyReason {
             2 => Ok(BusyReason::QueueFull),
             3 => Ok(BusyReason::Draining),
             4 => Ok(BusyReason::Overloaded),
+            5 => Ok(BusyReason::VariantUnavailable),
             _ => Err(FrameError::BadField("busy reason")),
         }
     }
@@ -78,8 +95,54 @@ impl std::fmt::Display for BusyReason {
             BusyReason::QueueFull => write!(f, "queue full"),
             BusyReason::Draining => write!(f, "draining"),
             BusyReason::Overloaded => write!(f, "overloaded"),
+            BusyReason::VariantUnavailable => write!(f, "variant unavailable"),
         }
     }
+}
+
+fn health_to_wire(h: EngineHealth) -> u8 {
+    match h {
+        EngineHealth::Healthy => 0,
+        EngineHealth::Degraded => 1,
+        EngineHealth::Draining => 2,
+        EngineHealth::Failed => 3,
+    }
+}
+
+fn health_from_wire(b: u8) -> Result<EngineHealth, FrameError> {
+    match b {
+        0 => Ok(EngineHealth::Healthy),
+        1 => Ok(EngineHealth::Degraded),
+        2 => Ok(EngineHealth::Draining),
+        3 => Ok(EngineHealth::Failed),
+        _ => Err(FrameError::BadField("engine health")),
+    }
+}
+
+fn encode_routes(p: &mut Vec<u8>, routes: &[RouteInfo]) {
+    let count = routes.len().min(MAX_ROUTES);
+    p.extend_from_slice(&(count as u16).to_le_bytes());
+    for route in routes.iter().take(count) {
+        p.extend_from_slice(&route.variant.to_le_bytes());
+        p.extend_from_slice(&route.version.to_le_bytes());
+        p.push(health_to_wire(route.health));
+    }
+}
+
+fn decode_routes(r: &mut Reader<'_>) -> Result<Vec<RouteInfo>, FrameError> {
+    let count = r.u16()? as usize;
+    if count > MAX_ROUTES {
+        return Err(FrameError::BadField("route count"));
+    }
+    let mut routes = Vec::with_capacity(count);
+    for _ in 0..count {
+        routes.push(RouteInfo {
+            variant: r.u32()?,
+            version: r.u32()?,
+            health: health_from_wire(r.u8()?)?,
+        });
+    }
+    Ok(routes)
 }
 
 /// Typed error category carried by an [`Frame::Error`] reply.
@@ -172,6 +235,11 @@ pub enum Frame {
         version: u32,
         /// Largest frame (payload bytes) the server will accept.
         max_frame: u32,
+        /// Aggregate engine health at session open.
+        health: EngineHealth,
+        /// The live routing table: every variant currently admitting
+        /// traffic, with its version and per-shard health.
+        routes: Vec<RouteInfo>,
     },
     /// Client → server: classify one input.
     Request {
@@ -184,6 +252,8 @@ pub enum Frame {
         route: u32,
         /// Sample tag (resolvable back to the input at replay time).
         sample: u32,
+        /// Defense variant to route to (0 = the default variant).
+        variant: u32,
         /// Input shape (per-item, e.g. `[C, H, W]`).
         dims: Vec<u32>,
         /// Input data, row-major, `dims` product many values.
@@ -226,6 +296,19 @@ pub enum Frame {
     },
     /// Client → server: clean end of session.
     Bye,
+    /// Client → server: report current health and the live routing table
+    /// (answered with a [`Frame::Status`]); lets ops clients observe a
+    /// drain or a hot swap mid-session without a side channel.
+    StatusQuery,
+    /// Server → client: the engine's current state.
+    Status {
+        /// Aggregate engine health.
+        health: EngineHealth,
+        /// Routing-table epoch (bumps on every hot-swap flip).
+        epoch: u64,
+        /// The live routing table.
+        routes: Vec<RouteInfo>,
+    },
 }
 
 impl Frame {
@@ -238,6 +321,8 @@ impl Frame {
             Frame::Busy { .. } => 5,
             Frame::Error { .. } => 6,
             Frame::Bye => 7,
+            Frame::StatusQuery => 8,
+            Frame::Status { .. } => 9,
         }
     }
 
@@ -262,15 +347,23 @@ impl Frame {
                 p.extend_from_slice(&tenant.to_le_bytes());
                 p.extend_from_slice(&key.to_le_bytes());
             }
-            Frame::Welcome { version, max_frame } => {
+            Frame::Welcome {
+                version,
+                max_frame,
+                health,
+                routes,
+            } => {
                 p.extend_from_slice(&version.to_le_bytes());
                 p.extend_from_slice(&max_frame.to_le_bytes());
+                p.push(health_to_wire(*health));
+                encode_routes(&mut p, routes);
             }
             Frame::Request {
                 id,
                 deadline_ms,
                 route,
                 sample,
+                variant,
                 dims,
                 data,
             } => {
@@ -278,6 +371,7 @@ impl Frame {
                 p.extend_from_slice(&deadline_ms.to_le_bytes());
                 p.extend_from_slice(&route.to_le_bytes());
                 p.extend_from_slice(&sample.to_le_bytes());
+                p.extend_from_slice(&variant.to_le_bytes());
                 p.push(dims.len() as u8);
                 for d in dims {
                     p.extend_from_slice(&d.to_le_bytes());
@@ -330,6 +424,16 @@ impl Frame {
                 p.extend_from_slice(msg.get(..len).unwrap_or_default());
             }
             Frame::Bye => {}
+            Frame::StatusQuery => {}
+            Frame::Status {
+                health,
+                epoch,
+                routes,
+            } => {
+                p.push(health_to_wire(*health));
+                p.extend_from_slice(&epoch.to_le_bytes());
+                encode_routes(&mut p, routes);
+            }
         }
         p
     }
@@ -450,7 +554,7 @@ pub fn decode_header(buf: &[u8]) -> Result<(u8, usize), FrameError> {
         return Err(FrameError::BadVersion(version));
     }
     let kind = *buf.get(12).unwrap_or(&0);
-    if !(1..=7).contains(&kind) {
+    if !(1..=9).contains(&kind) {
         return Err(FrameError::BadKind(kind));
     }
     let flags = *buf.get(13).unwrap_or(&0);
@@ -478,12 +582,15 @@ fn decode_body(kind: u8, payload: &[u8], stored_crc: u32) -> Result<Frame, Frame
         2 => Frame::Welcome {
             version: r.u32()?,
             max_frame: r.u32()?,
+            health: health_from_wire(r.u8()?)?,
+            routes: decode_routes(&mut r)?,
         },
         3 => {
             let id = r.u64()?;
             let deadline_ms = r.u32()?;
             let route = r.u32()?;
             let sample = r.u32()?;
+            let variant = r.u32()?;
             let rank = r.u8()? as usize;
             if rank == 0 || rank > 8 {
                 return Err(FrameError::BadField("tensor rank"));
@@ -512,6 +619,7 @@ fn decode_body(kind: u8, payload: &[u8], stored_crc: u32) -> Result<Frame, Frame
                 deadline_ms,
                 route,
                 sample,
+                variant,
                 dims,
                 data,
             }
@@ -555,6 +663,12 @@ fn decode_body(kind: u8, payload: &[u8], stored_crc: u32) -> Result<Frame, Frame
             Frame::Error { id, code, message }
         }
         7 => Frame::Bye,
+        8 => Frame::StatusQuery,
+        9 => Frame::Status {
+            health: health_from_wire(r.u8()?)?,
+            epoch: r.u64()?,
+            routes: decode_routes(&mut r)?,
+        },
         other => return Err(FrameError::BadKind(other)),
     };
     r.finish()?;
@@ -732,12 +846,26 @@ mod tests {
             Frame::Welcome {
                 version: PROTOCOL_VERSION,
                 max_frame: 1 << 20,
+                health: EngineHealth::Healthy,
+                routes: vec![
+                    RouteInfo {
+                        variant: 0,
+                        version: 3,
+                        health: EngineHealth::Healthy,
+                    },
+                    RouteInfo {
+                        variant: 2,
+                        version: 1,
+                        health: EngineHealth::Degraded,
+                    },
+                ],
             },
             Frame::Request {
                 id: 42,
                 deadline_ms: 250,
                 route: 1,
                 sample: 9,
+                variant: 2,
                 dims: vec![1, 4, 4],
                 data: (0..16).map(|i| i as f32 / 16.0).collect(),
             },
@@ -764,12 +892,27 @@ mod tests {
                 reason: BusyReason::RateLimited,
                 retry_after_ms: 120,
             },
+            Frame::Busy {
+                id: 46,
+                reason: BusyReason::VariantUnavailable,
+                retry_after_ms: 0,
+            },
             Frame::Error {
                 id: 45,
                 code: WireErrorCode::Pipeline,
                 message: "detector failed".to_string(),
             },
             Frame::Bye,
+            Frame::StatusQuery,
+            Frame::Status {
+                health: EngineHealth::Draining,
+                epoch: 17,
+                routes: vec![RouteInfo {
+                    variant: 1,
+                    version: 4,
+                    health: EngineHealth::Draining,
+                }],
+            },
         ]
     }
 
@@ -809,6 +952,7 @@ mod tests {
             deadline_ms: 0,
             route: 0,
             sample: 0,
+            variant: 0,
             dims: vec![2, 2],
             data: vec![0.0; 5], // one extra value
         };
@@ -827,6 +971,7 @@ mod tests {
                 deadline_ms: 0,
                 route: 0,
                 sample: 0,
+                variant: 0,
                 dims,
                 data,
             }

@@ -46,11 +46,11 @@ mod limits;
 mod metrics;
 mod server;
 
-pub use client::{ClientConfig, NetClient, Reply};
+pub use client::{ClientConfig, NetClient, Reply, ServerStatus};
 pub use fault::{FaultyStream, NetStream};
 pub use frame::{
     decode_header, read_frame, write_frame, BusyReason, Frame, FrameError, WireErrorCode,
-    FRAME_MAGIC, HEADER_LEN, PROTOCOL_VERSION,
+    FRAME_MAGIC, HEADER_LEN, MAX_ROUTES, PROTOCOL_VERSION,
 };
 pub use limits::{derived_key, TenantPolicy, TenantSpec, TenantTable, TokenBucket};
 pub use metrics::{NetMetrics, NetMetricsSnapshot};

@@ -32,7 +32,7 @@ use crate::limits::{TenantPolicy, TenantTable, TokenBucket};
 use crate::metrics::{NetMetrics, NetMetricsSnapshot};
 use crate::{BusyReason, NetError, WireErrorCode};
 use adv_chaos::NetFaultPlan;
-use adv_serve::{EngineHealth, RequestTag, ServeEngine, ServeError};
+use adv_serve::{EngineHealth, RequestTag, ServeError, VariantRouter};
 use adv_tensor::{Shape, Tensor};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -102,7 +102,7 @@ impl Default for NetServerConfig {
 /// State shared by the accept loop and every handler thread.
 #[derive(Debug)]
 struct ServerShared {
-    engine: Arc<ServeEngine>,
+    router: Arc<dyn VariantRouter>,
     cfg: NetServerConfig,
     tenants: TenantTable,
     metrics: NetMetrics,
@@ -123,7 +123,8 @@ impl ServerShared {
     fn draining(&self) -> bool {
         // lint-ok(ordering-justified): one-way stop latch; a late reader
         // refuses one connect later.
-        self.stopping.load(Ordering::Relaxed) || self.engine.health() >= EngineHealth::Draining
+        self.stopping.load(Ordering::Relaxed)
+            || self.router.router_health() >= EngineHealth::Draining
     }
 }
 
@@ -139,22 +140,24 @@ pub struct NetServer {
 
 impl NetServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts the accept loop in
-    /// front of `engine`.
+    /// front of `router` — a bare [`adv_serve::ServeEngine`] or a full
+    /// model zoo; anything that implements [`VariantRouter`].
     ///
     /// # Errors
     ///
     /// Socket errors from bind, local-address resolution, or the accept
     /// thread spawn.
-    pub fn start(
-        engine: Arc<ServeEngine>,
+    pub fn start<R: VariantRouter + 'static>(
+        router: Arc<R>,
         addr: &str,
         cfg: NetServerConfig,
     ) -> crate::Result<NetServer> {
+        let router: Arc<dyn VariantRouter> = router;
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let tenants = TenantTable::new(cfg.tenants.clone());
         let shared = Arc::new(ServerShared {
-            engine,
+            router,
             cfg,
             tenants,
             metrics: NetMetrics::default(),
@@ -207,7 +210,7 @@ impl NetServer {
         // connect, then join everything.
         // lint-ok(ordering-justified): one-way latch, as above.
         self.shared.stopping.store(true, Ordering::Relaxed);
-        self.shared.engine.begin_drain();
+        self.shared.router.begin_drain();
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
@@ -380,6 +383,8 @@ fn serve_connection<S: NetStream>(
         &Frame::Welcome {
             version: PROTOCOL_VERSION,
             max_frame: shared.cfg.max_frame_bytes.min(u32::MAX as usize) as u32,
+            health: shared.router.router_health(),
+            routes: shared.router.routes(),
         },
     )
     .map_err(|_| ())?;
@@ -396,11 +401,25 @@ fn serve_connection<S: NetStream>(
         };
         match frame {
             Frame::Bye => return Ok(ConnEnd::Clean),
+            Frame::StatusQuery => {
+                // Ops probe: current health, routing epoch, and the live
+                // routing table — answered even while draining, so a
+                // client can watch a drain or promotion progress.
+                let status = Frame::Status {
+                    health: shared.router.router_health(),
+                    epoch: shared.router.routing_epoch(),
+                    routes: shared.router.routes(),
+                };
+                if write_frame(stream, &status).is_err() {
+                    return Err(());
+                }
+            }
             Frame::Request {
                 id,
                 deadline_ms,
                 route,
                 sample,
+                variant,
                 dims,
                 data,
             } => {
@@ -415,6 +434,7 @@ fn serve_connection<S: NetStream>(
                     deadline_ms,
                     route,
                     sample,
+                    variant,
                     dims,
                     data,
                 ) {
@@ -459,6 +479,7 @@ fn handle_request<S: NetStream>(
     deadline_ms: u32,
     route: u32,
     sample: u32,
+    variant: u32,
     dims: Vec<u32>,
     data: Vec<f32>,
 ) -> RequestEnd {
@@ -519,10 +540,29 @@ fn handle_request<S: NetStream>(
     let mut accepted = false;
     let reply = loop {
         let pending = match shared
-            .engine
-            .submit_tagged_with_deadline(input.clone(), tag, budget)
+            .router
+            .submit_routed(variant, input.clone(), tag, budget)
         {
             Ok(pending) => pending,
+            Err(ServeError::VariantUnavailable(_)) => {
+                // Not in the live routing table (or its shard failed):
+                // refuse without touching any engine. The client may retry
+                // after the table flips — e.g. mid-promotion — so this is
+                // Busy, not a hard error.
+                if accepted {
+                    break Frame::Error {
+                        id,
+                        code: WireErrorCode::Pipeline,
+                        message: "retry rejected: variant left routing table".into(),
+                    };
+                }
+                shared.metrics.record_busy(false);
+                break Frame::Busy {
+                    id,
+                    reason: BusyReason::VariantUnavailable,
+                    retry_after_ms: 100,
+                };
+            }
             Err(ServeError::QueueFull) => {
                 if accepted {
                     // A retry resubmission hit backpressure: the original

@@ -9,6 +9,7 @@
 
 use adv_magnet::{DefenseScheme, Verdict};
 use adv_net::{read_frame, BusyReason, Frame, NetError, WireErrorCode, HEADER_LEN};
+use adv_serve::{EngineHealth, RouteInfo};
 
 fn sample_frames() -> Vec<Frame> {
     vec![
@@ -17,14 +18,28 @@ fn sample_frames() -> Vec<Frame> {
             key: 0xDEAD_BEEF_CAFE_F00D,
         },
         Frame::Welcome {
-            version: 1,
+            version: 2,
             max_frame: 16 << 20,
+            health: EngineHealth::Healthy,
+            routes: vec![
+                RouteInfo {
+                    variant: 0,
+                    version: 1,
+                    health: EngineHealth::Healthy,
+                },
+                RouteInfo {
+                    variant: 3,
+                    version: 7,
+                    health: EngineHealth::Degraded,
+                },
+            ],
         },
         Frame::Request {
             id: 7,
             deadline_ms: 250,
             route: 3,
             sample: 911,
+            variant: 1,
             dims: vec![1, 4, 4],
             data: (0..16).map(|i| i as f32 / 16.0).collect(),
         },
@@ -57,6 +72,16 @@ fn sample_frames() -> Vec<Frame> {
             message: "deadline expired after 250ms".to_string(),
         },
         Frame::Bye,
+        Frame::StatusQuery,
+        Frame::Status {
+            health: EngineHealth::Draining,
+            epoch: 42,
+            routes: vec![RouteInfo {
+                variant: 2,
+                version: 5,
+                health: EngineHealth::Failed,
+            }],
+        },
     ]
 }
 

@@ -51,12 +51,14 @@ mod health;
 mod metrics;
 pub mod observe;
 pub mod queue;
+pub mod router;
 
 pub use breaker::DegradePolicy;
 pub use engine::{PendingVerdict, ServeConfig, ServeEngine, ServeResponse, SITE_POLL};
 pub use health::{EngineHealth, RestartPolicy};
 pub use metrics::MetricsSnapshot;
 pub use observe::{RequestTag, ResponseObserver, ServedRecord};
+pub use router::{RouteInfo, VariantRouter, DEFAULT_VARIANT};
 
 /// Errors surfaced by the serving engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +82,9 @@ pub enum ServeError {
     InvalidConfig(String),
     /// The OS refused to start a worker thread.
     WorkerSpawn(String),
+    /// The requested variant is not in the live routing table (unknown id,
+    /// retired, or its shard has failed). Carries the variant id.
+    VariantUnavailable(u32),
 }
 
 impl std::fmt::Display for ServeError {
@@ -95,6 +100,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Timeout => write!(f, "timed out waiting for a verdict"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             ServeError::WorkerSpawn(msg) => write!(f, "cannot spawn worker thread: {msg}"),
+            ServeError::VariantUnavailable(v) => {
+                write!(f, "variant {v} is not in the live routing table")
+            }
         }
     }
 }

@@ -11,9 +11,10 @@
 use adv_magnet::{DefenseScheme, Verdict};
 
 /// Caller-supplied identity of a request: which tenant and route submitted
-/// it, and which corpus sample it carries. The engine never interprets
-/// these — they ride along to the observer so recorded traffic can be
-/// filtered and replayed. Untagged submissions carry all zeros.
+/// it, which corpus sample it carries, and which defense variant served
+/// it. The engine never interprets these — they ride along to the observer
+/// so recorded traffic can be filtered and replayed (including per-variant
+/// A/B replay). Untagged submissions carry all zeros.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RequestTag {
     /// Tenant key of the submitting client.
@@ -22,16 +23,26 @@ pub struct RequestTag {
     pub route: u32,
     /// Sample id, resolvable back to the input at replay time.
     pub sample: u32,
+    /// Defense variant the request was routed to (`DEFAULT_VARIANT` for a
+    /// single-pipeline engine).
+    pub variant: u32,
 }
 
 impl RequestTag {
-    /// A tag with all three keys set.
+    /// A tag with the three caller keys set and the default variant.
     pub fn new(tenant: u32, route: u32, sample: u32) -> RequestTag {
         RequestTag {
             tenant,
             route,
             sample,
+            variant: crate::router::DEFAULT_VARIANT,
         }
+    }
+
+    /// The same tag routed to `variant`.
+    pub fn with_variant(mut self, variant: u32) -> RequestTag {
+        self.variant = variant;
+        self
     }
 }
 

@@ -8,22 +8,22 @@
 //!
 //! ```text
 //! magic   "ADVTCHK1"  8 bytes
-//! version u32         currently 2 (v2 added the trace column)
+//! version u32         currently 3 (v2 added trace, v3 the variant column)
 //! rows    u32
-//! tick    rows × u64      queue_ns  rows × u64
-//! tenant  rows × u32      infer_ns  rows × u64
-//! route   rows × u32      trace     rows × u64
-//! sample  rows × u32      nscores   rows × u8
+//! tick    rows × u64      verdict   rows × i32
+//! tenant  rows × u32      queue_ns  rows × u64
+//! route   rows × u32      infer_ns  rows × u64
+//! sample  rows × u32      trace     rows × u64
+//! variant rows × u32      nscores   rows × u8
 //! scheme  rows × u8       score[k]  rows × f32, k = 0..MAX_DETECTORS
 //! degraded rows × u8
-//! verdict rows × i32
 //! ```
 //!
 //! Validation is strict: wrong magic/version, a row count that does not
 //! match the byte length, trailing bytes, or an unknown scheme code all
 //! reject the chunk (the store layer then quarantines it). Strictness
-//! includes the version: v1 chunks (no trace column) are rejected, landing
-//! in quarantine like any other unreadable payload.
+//! includes the version: v1/v2 chunks (no trace / no variant column) are
+//! rejected, landing in quarantine like any other unreadable payload.
 
 use crate::row::{scheme_code, scheme_from_code, verdict_code, verdict_from_code};
 use crate::{TelemetryRow, MAX_DETECTORS};
@@ -32,13 +32,13 @@ use crate::{TelemetryRow, MAX_DETECTORS};
 pub const CHUNK_MAGIC: &[u8; 8] = b"ADVTCHK1";
 
 /// Chunk format version this build writes and accepts.
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 
 /// Header bytes before the columns.
 const HEADER_LEN: usize = 8 + 4 + 4;
 
 /// Bytes one row occupies across all columns.
-const ROW_BYTES: usize = 8 + 4 + 4 + 4 + 1 + 1 + 4 + 8 + 8 + 8 + 1 + 4 * MAX_DETECTORS;
+const ROW_BYTES: usize = 8 + 4 + 4 + 4 + 4 + 1 + 1 + 4 + 8 + 8 + 8 + 1 + 4 * MAX_DETECTORS;
 
 /// Per-column min/max statistics of a sealed chunk — everything the query
 /// layer needs to prune a chunk without reading it.
@@ -58,6 +58,10 @@ pub struct ChunkStats {
     pub route_min: u32,
     /// Largest route key.
     pub route_max: u32,
+    /// Smallest serving-variant id.
+    pub variant_min: u32,
+    /// Largest serving-variant id.
+    pub variant_max: u32,
     /// Bitmask of scheme codes present (`1 << scheme_code`).
     pub scheme_mask: u8,
     /// Any row served degraded.
@@ -75,7 +79,7 @@ pub struct ChunkStats {
 }
 
 /// Serialized size of [`ChunkStats`] in a manifest record.
-pub(crate) const STATS_BYTES: usize = 4 + 8 + 8 + 4 + 4 + 4 + 4 + 1 + 1 + 8 * MAX_DETECTORS;
+pub(crate) const STATS_BYTES: usize = 4 + 8 + 8 + 4 + 4 + 4 + 4 + 4 + 4 + 1 + 1 + 8 * MAX_DETECTORS;
 
 impl ChunkStats {
     pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
@@ -86,6 +90,8 @@ impl ChunkStats {
         out.extend_from_slice(&self.tenant_max.to_le_bytes());
         out.extend_from_slice(&self.route_min.to_le_bytes());
         out.extend_from_slice(&self.route_max.to_le_bytes());
+        out.extend_from_slice(&self.variant_min.to_le_bytes());
+        out.extend_from_slice(&self.variant_max.to_le_bytes());
         out.push(self.scheme_mask);
         let flags = u8::from(self.any_degraded)
             | u8::from(self.all_degraded) << 1
@@ -115,6 +121,8 @@ impl ChunkStats {
         let tenant_max = cur.u32()?;
         let route_min = cur.u32()?;
         let route_max = cur.u32()?;
+        let variant_min = cur.u32()?;
+        let variant_max = cur.u32()?;
         let scheme_mask = cur.u8()?;
         let flags = cur.u8()?;
         let mut score_min = [0f32; MAX_DETECTORS];
@@ -133,6 +141,8 @@ impl ChunkStats {
             tenant_max,
             route_min,
             route_max,
+            variant_min,
+            variant_max,
             scheme_mask,
             any_degraded: flags & 1 != 0,
             all_degraded: flags & 2 != 0,
@@ -152,6 +162,7 @@ pub struct Chunk {
     tenant: Vec<u32>,
     route: Vec<u32>,
     sample: Vec<u32>,
+    variant: Vec<u32>,
     scheme: Vec<u8>,
     degraded: Vec<u8>,
     verdict: Vec<i32>,
@@ -170,6 +181,7 @@ impl Chunk {
             tenant: Vec::with_capacity(capacity),
             route: Vec::with_capacity(capacity),
             sample: Vec::with_capacity(capacity),
+            variant: Vec::with_capacity(capacity),
             scheme: Vec::with_capacity(capacity),
             degraded: Vec::with_capacity(capacity),
             verdict: Vec::with_capacity(capacity),
@@ -197,6 +209,7 @@ impl Chunk {
         self.tenant.push(row.tenant);
         self.route.push(row.route);
         self.sample.push(row.sample);
+        self.variant.push(row.variant);
         self.scheme.push(scheme_code(row.scheme));
         self.degraded.push(u8::from(row.degraded));
         self.verdict.push(verdict_code(row.verdict));
@@ -222,6 +235,7 @@ impl Chunk {
             tenant: self.tenant.get(i).copied()?,
             route: self.route.get(i).copied()?,
             sample: self.sample.get(i).copied()?,
+            variant: self.variant.get(i).copied()?,
             scheme: scheme_from_code(self.scheme.get(i).copied()?)?,
             degraded: self.degraded.get(i).copied()? != 0,
             verdict: verdict_from_code(self.verdict.get(i).copied()?),
@@ -253,6 +267,8 @@ impl Chunk {
             tenant_max: 0,
             route_min: u32::MAX,
             route_max: 0,
+            variant_min: u32::MAX,
+            variant_max: 0,
             scheme_mask: 0,
             any_degraded: false,
             all_degraded: !self.is_empty(),
@@ -272,6 +288,10 @@ impl Chunk {
         for &r in &self.route {
             stats.route_min = stats.route_min.min(r);
             stats.route_max = stats.route_max.max(r);
+        }
+        for &v in &self.variant {
+            stats.variant_min = stats.variant_min.min(v);
+            stats.variant_max = stats.variant_max.max(v);
         }
         for &s in &self.scheme {
             stats.scheme_mask |= 1u8.checked_shl(u32::from(s)).unwrap_or(0);
@@ -312,6 +332,9 @@ impl Chunk {
             out.extend_from_slice(&v.to_le_bytes());
         }
         for v in &self.sample {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.variant {
             out.extend_from_slice(&v.to_le_bytes());
         }
         out.extend_from_slice(&self.scheme);
@@ -374,6 +397,7 @@ impl Chunk {
         chunk.tenant = cur.u32_vec(rows)?;
         chunk.route = cur.u32_vec(rows)?;
         chunk.sample = cur.u32_vec(rows)?;
+        chunk.variant = cur.u32_vec(rows)?;
         chunk.scheme = cur.u8_vec(rows)?;
         chunk.degraded = cur.u8_vec(rows)?;
         chunk.verdict = cur.i32_vec(rows)?;
@@ -507,6 +531,7 @@ mod tests {
             i as u64 + 1,
             &[i as f32 * 0.5, 1.0 / (i as f32 + 1.0), -0.25, 3.0],
         )
+        .with_variant((i % 2) as u32 + 1)
     }
 
     fn filled(n: usize) -> Chunk {
@@ -550,7 +575,7 @@ mod tests {
         bad[8] = 7;
         assert!(Chunk::decode(&bad).unwrap_err().contains("version"));
         // Corrupt the first scheme byte to an unknown code.
-        let scheme_off = HEADER_LEN + 3 * (8 + 4 + 4 + 4);
+        let scheme_off = HEADER_LEN + 3 * (8 + 4 + 4 + 4 + 4);
         let mut bad = good.clone();
         bad[scheme_off] = 200;
         assert!(Chunk::decode(&bad).unwrap_err().contains("scheme"));
@@ -565,6 +590,7 @@ mod tests {
         assert_eq!(s.tick_max, 1190);
         assert_eq!((s.tenant_min, s.tenant_max), (0, 2));
         assert_eq!((s.route_min, s.route_max), (0, 1));
+        assert_eq!((s.variant_min, s.variant_max), (1, 2));
         assert_eq!(s.scheme_mask, 0b1111);
         assert!(s.any_degraded && !s.all_degraded);
         assert!(s.any_detected && !s.all_detected);

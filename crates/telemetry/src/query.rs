@@ -22,6 +22,9 @@ pub struct RowFilter {
     pub tenant: Option<u32>,
     /// Match only this route key.
     pub route: Option<u32>,
+    /// Match only rows served by this model-zoo variant (the A/B axis of
+    /// replay comparisons).
+    pub variant: Option<u32>,
     /// Match only rows served under this scheme.
     pub scheme: Option<DefenseScheme>,
     /// Match only rows with this degraded flag.
@@ -35,6 +38,7 @@ impl RowFilter {
     pub fn matches(&self, row: &TelemetryRow) -> bool {
         self.tenant.is_none_or(|t| row.tenant == t)
             && self.route.is_none_or(|r| row.route == r)
+            && self.variant.is_none_or(|v| row.variant == v)
             && self.scheme.is_none_or(|s| row.scheme == s)
             && self.degraded.is_none_or(|d| row.degraded == d)
             && self
@@ -55,6 +59,11 @@ impl RowFilter {
         }
         if let Some(r) = self.route {
             if r < stats.route_min || r > stats.route_max {
+                return true;
+            }
+        }
+        if let Some(v) = self.variant {
+            if v < stats.variant_min || v > stats.variant_max {
                 return true;
             }
         }

@@ -83,19 +83,22 @@ impl TelemetrySink {
 
 impl ResponseObserver for TelemetrySink {
     fn on_response(&self, record: &ServedRecord<'_>) {
-        self.record(TelemetryRow::new(
-            record.tick_ns,
-            record.tag.tenant,
-            record.tag.route,
-            record.tag.sample,
-            record.scheme,
-            record.degraded,
-            record.verdict,
-            record.queue_ns,
-            record.infer_ns,
-            record.trace_id,
-            record.scores,
-        ));
+        self.record(
+            TelemetryRow::new(
+                record.tick_ns,
+                record.tag.tenant,
+                record.tag.route,
+                record.tag.sample,
+                record.scheme,
+                record.degraded,
+                record.verdict,
+                record.queue_ns,
+                record.infer_ns,
+                record.trace_id,
+                record.scores,
+            )
+            .with_variant(record.tag.variant),
+        );
     }
 }
 

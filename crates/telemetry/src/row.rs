@@ -21,6 +21,9 @@ pub struct TelemetryRow {
     /// Sample id — resolves back to the input through a
     /// [`crate::SampleProvider`] at replay time.
     pub sample: u32,
+    /// Model-zoo variant that served the request (0 = the default
+    /// variant / a bare engine). The A/B axis of replay comparisons.
+    pub variant: u32,
     /// Defense scheme the batch actually ran under.
     pub scheme: DefenseScheme,
     /// `true` when the breaker had degraded the configured scheme.
@@ -73,6 +76,7 @@ impl TelemetryRow {
             tenant,
             route,
             sample,
+            variant: 0,
             scheme,
             degraded,
             verdict,
@@ -82,6 +86,14 @@ impl TelemetryRow {
             nscores: n as u8,
             scores,
         }
+    }
+
+    /// Sets the serving variant (builder-style; [`new`](Self::new) defaults
+    /// it to 0, the bare-engine / default-variant id).
+    #[must_use]
+    pub fn with_variant(mut self, variant: u32) -> TelemetryRow {
+        self.variant = variant;
+        self
     }
 }
 

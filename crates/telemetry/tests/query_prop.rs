@@ -79,12 +79,16 @@ fn materialize(raw: &[RawRow]) -> Vec<TelemetryRow> {
                 i as u64,
                 &[r.score, 100.0 - r.score],
             )
+            // Derived, not fresh randomness: still exercises per-variant
+            // pruning and matching across chunks.
+            .with_variant(r.tenant % 3)
         })
         .collect()
 }
 
 fn filter_from(
     tenant: Option<u32>,
+    variant: Option<u32>,
     scheme: Option<u8>,
     degraded: Option<bool>,
     detected: Option<bool>,
@@ -92,6 +96,7 @@ fn filter_from(
     RowFilter {
         tenant,
         route: None,
+        variant,
         scheme: scheme.map(|s| DefenseScheme::ALL[usize::from(s)]),
         degraded,
         detected,
@@ -108,6 +113,7 @@ proptest! {
         t0 in 0u64..1100,
         span in 0u64..1100,
         tenant in proptest::option::of(0u32..5),
+        variant in proptest::option::of(0u32..4),
         scheme in proptest::option::of(0u8..4),
         degraded in proptest::option::of(any::<bool>()),
         detected in proptest::option::of(any::<bool>()),
@@ -122,7 +128,7 @@ proptest! {
         drop(store);
 
         let range = t0..t0.saturating_add(span);
-        let filter = filter_from(tenant, scheme, degraded, detected);
+        let filter = filter_from(tenant, variant, scheme, degraded, detected);
         let reader = ChunkReader::open(&dir).unwrap();
         let result = query(&reader, range.clone(), &filter).unwrap();
 

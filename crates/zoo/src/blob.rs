@@ -1,0 +1,181 @@
+//! Immutable, `Arc`-shared weight blobs on the adv-store envelope.
+//!
+//! A blob is the serialized weights (or any opaque payload a
+//! [`PipelineLoader`](crate::PipelineLoader) can turn into a pipeline) for
+//! one `(variant, version)` pair. Publishing seals the payload in an
+//! adv-store CRC envelope via an atomic rename; loading re-verifies the
+//! CRC and quarantines corrupt files (`<name>.corrupt`), so a damaged blob
+//! can never be built into a shard — the promotion state machine sees a
+//! [`ZooError::BlobRejected`](crate::ZooError::BlobRejected) instead.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use adv_store::crc32;
+
+use crate::{Result, ZooError};
+
+/// An immutable weight payload shared by reference: cloning a `WeightBlob`
+/// clones an `Arc`, never the bytes, so every shard, warmup probe, and
+/// parity check reads the same allocation.
+#[derive(Debug, Clone)]
+pub struct WeightBlob {
+    variant: u32,
+    version: u32,
+    crc: u32,
+    bytes: Arc<[u8]>,
+}
+
+impl WeightBlob {
+    /// Wraps raw payload bytes for `(variant, version)`.
+    pub fn new(variant: u32, version: u32, payload: Vec<u8>) -> WeightBlob {
+        let crc = crc32(&payload);
+        WeightBlob {
+            variant,
+            version,
+            crc,
+            bytes: Arc::from(payload),
+        }
+    }
+
+    /// Variant this blob belongs to.
+    pub fn variant(&self) -> u32 {
+        self.variant
+    }
+
+    /// Version of this blob within its variant.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// CRC32 of the payload — journaled with every promotion record so a
+    /// resumed promotion can prove it is looking at the same bytes.
+    pub fn crc(&self) -> u32 {
+        self.crc
+    }
+
+    /// The shared payload.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Directory of sealed weight blobs, one file per `(variant, version)`.
+#[derive(Debug, Clone)]
+pub struct BlobStore {
+    root: PathBuf,
+}
+
+impl BlobStore {
+    /// A blob store rooted at `root/blobs` (created lazily on publish).
+    pub fn new(root: impl AsRef<Path>) -> BlobStore {
+        BlobStore {
+            root: root.as_ref().join("blobs"),
+        }
+    }
+
+    /// The on-disk path of `(variant, version)`.
+    pub fn path_for(&self, variant: u32, version: u32) -> PathBuf {
+        self.root.join(format!("variant_{variant}_v{version}.blob"))
+    }
+
+    /// Seals `payload` as the blob for `(variant, version)` (atomic
+    /// rename + CRC envelope via adv-store).
+    ///
+    /// # Errors
+    ///
+    /// [`ZooError::Store`] on I/O failure.
+    pub fn publish(&self, variant: u32, version: u32, payload: &[u8]) -> Result<WeightBlob> {
+        std::fs::create_dir_all(&self.root).map_err(adv_store::StoreError::Io)?;
+        let path = self.path_for(variant, version);
+        adv_store::save_artifact(&path, payload)?;
+        Ok(WeightBlob::new(variant, version, payload.to_vec()))
+    }
+
+    /// Loads and CRC-verifies the blob for `(variant, version)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ZooError::BlobRejected`] when the file is missing or fails
+    /// envelope validation — in the corrupt case adv-store has already
+    /// quarantined it to `<name>.corrupt`, so a retry cannot accidentally
+    /// pick up the damaged bytes.
+    pub fn load(&self, variant: u32, version: u32) -> Result<WeightBlob> {
+        let path = self.path_for(variant, version);
+        match adv_store::load_artifact(&path) {
+            Ok(payload) => Ok(WeightBlob::new(variant, version, payload)),
+            Err(e) => Err(ZooError::BlobRejected {
+                variant,
+                version,
+                detail: e.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("adv_zoo_blob_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tmp dir");
+        dir
+    }
+
+    #[test]
+    fn publish_then_load_roundtrips_and_shares_bytes() {
+        let dir = tmp_dir("roundtrip");
+        let store = BlobStore::new(&dir);
+        let published = store.publish(3, 2, b"weights-bytes").expect("publish");
+        let loaded = store.load(3, 2).expect("load");
+        assert_eq!(loaded.bytes(), b"weights-bytes");
+        assert_eq!(loaded.variant(), 3);
+        assert_eq!(loaded.version(), 2);
+        assert_eq!(loaded.crc(), published.crc());
+        let clone = loaded.clone();
+        assert!(std::ptr::eq(
+            clone.bytes().as_ptr(),
+            loaded.bytes().as_ptr()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_blob_is_rejected_and_quarantined() {
+        let dir = tmp_dir("corrupt");
+        let store = BlobStore::new(&dir);
+        store.publish(1, 1, b"good-weights").expect("publish");
+        let path = store.path_for(1, 1);
+        let mut bytes = std::fs::read(&path).expect("read blob");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("corrupt blob");
+        match store.load(1, 1) {
+            Err(ZooError::BlobRejected {
+                variant, version, ..
+            }) => {
+                assert_eq!((variant, version), (1, 1));
+            }
+            other => panic!("expected BlobRejected, got {other:?}"),
+        }
+        assert!(!path.exists(), "corrupt blob must be moved aside");
+        assert!(
+            path.with_extension("blob.corrupt").exists(),
+            "quarantine file missing"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_blob_is_rejected() {
+        let dir = tmp_dir("missing");
+        let store = BlobStore::new(&dir);
+        assert!(matches!(
+            store.load(9, 9),
+            Err(ZooError::BlobRejected { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
